@@ -1,0 +1,37 @@
+# heteropart — reproduction of Shen et al., ICPP 2015.
+
+GO ?= go
+
+.PHONY: all build test bench vet experiments report examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure with shape checks.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Refresh EXPERIMENTS.md from the current measurements.
+report:
+	$(GO) run ./cmd/experiments -report > EXPERIMENTS.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/finance
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/dagflow
+	$(GO) run ./examples/multiaccel
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,177 @@
+package heteropart_test
+
+import (
+	"strings"
+	"testing"
+
+	"heteropart"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	plat := heteropart.PaperPlatform(12)
+	app, err := heteropart.AppByName("BlackScholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	problem, err := app.Build(heteropart.Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, outcome, err := heteropart.Matchmake(problem, plat, heteropart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best != "SP-Single" {
+		t.Fatalf("best = %s", report.Best)
+	}
+	if outcome.Result.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+}
+
+func TestPublicRegistries(t *testing.T) {
+	if len(heteropart.Apps()) != 9 {
+		t.Fatalf("apps = %d", len(heteropart.Apps()))
+	}
+	if len(heteropart.Strategies()) != 8 {
+		t.Fatalf("strategies = %d", len(heteropart.Strategies()))
+	}
+	if len(heteropart.Experiments()) != 26 {
+		t.Fatalf("experiments = %d", len(heteropart.Experiments()))
+	}
+	if _, err := heteropart.ExperimentByID("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := heteropart.StrategyByName("SP-Varied"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankingExposed(t *testing.T) {
+	r := heteropart.Ranking(heteropart.MKSeq, true)
+	if len(r) != 4 || r[0] != "SP-Varied" {
+		t.Fatalf("ranking = %v", r)
+	}
+}
+
+func TestClassifyExposed(t *testing.T) {
+	s := heteropart.Structure{Flow: heteropart.FlowLoop{
+		Body:  heteropart.FlowSeq{heteropart.FlowCall{Kernel: "a"}, heteropart.FlowCall{Kernel: "b"}},
+		Trips: 10,
+	}}
+	cls, err := heteropart.Classify(s)
+	if err != nil || cls != heteropart.MKLoop {
+		t.Fatalf("class = %v, %v", cls, err)
+	}
+}
+
+// TestCustomProblemBuilder assembles a small SAXPY-style app entirely
+// through the public API, runs the matchmaker, and verifies the
+// computed result — the workflow the examples demonstrate.
+func TestCustomProblemBuilder(t *testing.T) {
+	const n = 10_000
+	b := heteropart.NewProblem("saxpy", n, 1)
+	x := b.Buffer("x", n, 4)
+	y := b.Buffer("y", n, 4)
+
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i % 7)
+		ys[i] = float32(i % 3)
+	}
+	want := make([]float32, n)
+	for i := range want {
+		want[i] = 2*xs[i] + ys[i]
+	}
+
+	kernel := &heteropart.Kernel{
+		Name:      "saxpy",
+		Size:      n,
+		Precision: heteropart.SP,
+		Flops:     func(lo, hi int64) float64 { return 2 * float64(hi-lo) },
+		MemBytes:  func(lo, hi int64) float64 { return 12 * float64(hi-lo) },
+		Accesses: func(lo, hi int64) []heteropart.Access {
+			return []heteropart.Access{
+				{Buf: x, Interval: heteropart.Interval{Lo: lo, Hi: hi}, Mode: heteropart.Read},
+				{Buf: y, Interval: heteropart.Interval{Lo: lo, Hi: hi}, Mode: heteropart.ReadWrite},
+			}
+		},
+		Compute: func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				ys[i] = 2*xs[i] + ys[i]
+			}
+		},
+	}
+
+	problem, err := b.Phase(kernel, true).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := problem.Class(); got != heteropart.SKOne {
+		t.Fatalf("class = %v", got)
+	}
+
+	plat := heteropart.PaperPlatform(4)
+	report, _, err := heteropart.Matchmake(problem, plat, heteropart.Options{Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best != "SP-Single" {
+		t.Fatalf("best = %s", report.Best)
+	}
+	for i := range want {
+		if ys[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, ys[i], want[i])
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := heteropart.NewProblem("empty", 10, 1).Build(); err == nil {
+		t.Fatal("empty problem built")
+	}
+	b := heteropart.NewProblem("nilk", 10, 1)
+	b.Phase(nil, false)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+	b2 := heteropart.NewProblem("zerok", 10, 1)
+	b2.Phase(&heteropart.Kernel{Name: "z"}, false)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("zero-size kernel accepted")
+	}
+}
+
+func TestValidateRankingExposed(t *testing.T) {
+	app, _ := heteropart.AppByName("STREAM-Seq")
+	val, err := heteropart.ValidateRanking(app,
+		heteropart.Variant{Sync: heteropart.SyncForced},
+		heteropart.PaperPlatform(12), heteropart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !val.Matches {
+		t.Fatalf("ranking mismatch: %v vs %v", val.Empirical, val.Ranked)
+	}
+	if val.Best != "SP-Varied" {
+		t.Fatalf("best = %s", val.Best)
+	}
+}
+
+func TestExperimentRenderExposed(t *testing.T) {
+	e, err := heteropart.ExperimentByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(heteropart.PaperPlatform(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Render(), "MatrixMul") {
+		t.Fatal("table2 missing MatrixMul")
+	}
+	if !tab.AllPass() {
+		t.Fatal("table2 checks failed")
+	}
+}

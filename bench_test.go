@@ -1,0 +1,264 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment on the
+// simulated Table-III platform and reports the key *virtual-time*
+// quantities (vms = virtual milliseconds) as custom metrics, so the
+// numbers the paper plots appear directly in the benchmark output;
+// ns/op measures the simulator itself.
+//
+//	go test -bench=. -benchmem
+package heteropart_test
+
+import (
+	"fmt"
+
+	"testing"
+
+	"heteropart"
+)
+
+// benchPlatform is shared: the paper's platform with m = 12.
+func benchPlatform() *heteropart.Platform { return heteropart.PaperPlatform(12) }
+
+// runExperiment drives one experiment b.N times and fails the bench if
+// a paper shape check regresses.
+func runExperiment(b *testing.B, id string) *heteropart.ResultTable {
+	b.Helper()
+	plat := benchPlatform()
+	e, err := heteropart.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *heteropart.ResultTable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err = e.Run(plat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !tab.AllPass() {
+		b.Fatalf("%s failed its shape checks:\n%s", id, tab.Render())
+	}
+	return tab
+}
+
+// reportStrategyTimes re-measures one app variant per strategy and
+// attaches the virtual makespans as metrics.
+func reportStrategyTimes(b *testing.B, appName string, sync heteropart.SyncMode, strats ...string) {
+	b.Helper()
+	plat := benchPlatform()
+	app, err := heteropart.AppByName(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range strats {
+		s, err := heteropart.StrategyByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := app.Build(heteropart.Variant{Sync: sync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := s.Run(p, plat, heteropart.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out.Result.Makespan.Milliseconds(), name+"_vms")
+	}
+}
+
+var skStrats = []string{"Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep"}
+var mkStrats = []string{"Only-GPU", "Only-CPU", "SP-Unified", "DP-Perf", "DP-Dep", "SP-Varied"}
+
+// BenchmarkFig5aMatrixMul regenerates Fig. 5(a).
+func BenchmarkFig5aMatrixMul(b *testing.B) {
+	runExperiment(b, "fig5a")
+	reportStrategyTimes(b, "MatrixMul", heteropart.SyncDefault, skStrats...)
+}
+
+// BenchmarkFig5bBlackScholes regenerates Fig. 5(b).
+func BenchmarkFig5bBlackScholes(b *testing.B) {
+	runExperiment(b, "fig5b")
+	reportStrategyTimes(b, "BlackScholes", heteropart.SyncDefault, skStrats...)
+}
+
+// BenchmarkFig6SKOneRatios regenerates Fig. 6 (partitioning ratios).
+func BenchmarkFig6SKOneRatios(b *testing.B) {
+	runExperiment(b, "fig6")
+}
+
+// BenchmarkFig7aNbody regenerates Fig. 7(a).
+func BenchmarkFig7aNbody(b *testing.B) {
+	runExperiment(b, "fig7a")
+	reportStrategyTimes(b, "Nbody", heteropart.SyncDefault, skStrats...)
+}
+
+// BenchmarkFig7bHotSpot regenerates Fig. 7(b).
+func BenchmarkFig7bHotSpot(b *testing.B) {
+	runExperiment(b, "fig7b")
+	reportStrategyTimes(b, "HotSpot", heteropart.SyncDefault, skStrats...)
+}
+
+// BenchmarkFig8SKLoopRatios regenerates Fig. 8.
+func BenchmarkFig8SKLoopRatios(b *testing.B) {
+	runExperiment(b, "fig8")
+}
+
+// BenchmarkFig9StreamSeq regenerates Fig. 9 (both sync variants).
+func BenchmarkFig9StreamSeq(b *testing.B) {
+	runExperiment(b, "fig9")
+	reportStrategyTimes(b, "STREAM-Seq", heteropart.SyncNone, mkStrats...)
+}
+
+// BenchmarkFig10MKSeqRatios regenerates Fig. 10.
+func BenchmarkFig10MKSeqRatios(b *testing.B) {
+	runExperiment(b, "fig10")
+}
+
+// BenchmarkFig11StreamLoop regenerates Fig. 11 (both sync variants).
+func BenchmarkFig11StreamLoop(b *testing.B) {
+	runExperiment(b, "fig11")
+	reportStrategyTimes(b, "STREAM-Loop", heteropart.SyncNone, mkStrats...)
+}
+
+// BenchmarkFig12Speedups regenerates Fig. 12 and reports the average
+// speedups the paper headlines (3.0x over Only-GPU, 5.3x over
+// Only-CPU).
+func BenchmarkFig12Speedups(b *testing.B) {
+	tab := runExperiment(b, "fig12")
+	// The last row is the average.
+	last := tab.Rows[len(tab.Rows)-1]
+	var og, oc float64
+	if _, err := sscanSpeedup(last[2], &og); err == nil {
+		b.ReportMetric(og, "avg_vs_OG_x")
+	}
+	if _, err := sscanSpeedup(last[3], &oc); err == nil {
+		b.ReportMetric(oc, "avg_vs_OC_x")
+	}
+}
+
+func sscanSpeedup(s string, out *float64) (int, error) {
+	var v float64
+	n, err := fmtSscanf(s, &v)
+	*out = v
+	return n, err
+}
+
+// BenchmarkTable1RankingValidation regenerates the Table-I validation:
+// every suitable strategy per application, empirical vs theoretical
+// ordering.
+func BenchmarkTable1RankingValidation(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+// BenchmarkTable2Classification regenerates Table II.
+func BenchmarkTable2Classification(b *testing.B) {
+	runExperiment(b, "table2")
+}
+
+// BenchmarkTable3Platform regenerates Table III.
+func BenchmarkTable3Platform(b *testing.B) {
+	runExperiment(b, "table3")
+}
+
+// BenchmarkStudy86Coverage regenerates the Section III-B coverage
+// study over the reconstructed 86-application catalog.
+func BenchmarkStudy86Coverage(b *testing.B) {
+	runExperiment(b, "study86")
+}
+
+// BenchmarkDiscussionConvert regenerates the Section-V
+// dynamic-behaves-static conversion study.
+func BenchmarkDiscussionConvert(b *testing.B) {
+	runExperiment(b, "convert")
+}
+
+// BenchmarkDiscussionTaskSize regenerates the Section-V task-size
+// sensitivity sweep.
+func BenchmarkDiscussionTaskSize(b *testing.B) {
+	runExperiment(b, "tasksize")
+}
+
+// BenchmarkExtensionMultiAccel regenerates the multi-accelerator
+// extension experiment.
+func BenchmarkExtensionMultiAccel(b *testing.B) {
+	runExperiment(b, "multiaccel")
+}
+
+// BenchmarkExtensionImbalance regenerates the imbalanced-workload
+// extension experiment.
+func BenchmarkExtensionImbalance(b *testing.B) {
+	runExperiment(b, "imbalance")
+}
+
+// BenchmarkMatchmakerPipeline measures the full analyzer pipeline
+// (classify + rank + select + execute) end to end.
+func BenchmarkMatchmakerPipeline(b *testing.B) {
+	plat := benchPlatform()
+	app, err := heteropart.AppByName("BlackScholes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p, err := app.Build(heteropart.Variant{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := heteropart.Matchmake(p, plat, heteropart.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fmtSscanf parses a "1.23x" speedup cell.
+func fmtSscanf(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%fx", v)
+}
+
+// BenchmarkExtensionAutoTune regenerates the Section-V auto-tuning
+// experiment.
+func BenchmarkExtensionAutoTune(b *testing.B) {
+	runExperiment(b, "autotune")
+}
+
+// BenchmarkExtensionDAGRefine regenerates the Section-VII MK-DAG
+// refinement study.
+func BenchmarkExtensionDAGRefine(b *testing.B) {
+	runExperiment(b, "dagrefine")
+}
+
+// BenchmarkExtensionPlatforms regenerates the platform-sensitivity
+// study (GTX 680 + PCIe 3.0).
+func BenchmarkExtensionPlatforms(b *testing.B) {
+	runExperiment(b, "platforms")
+}
+
+// BenchmarkAblations regenerates the design-choice ablation study.
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, "ablations")
+}
+
+// BenchmarkExtensionConvolution regenerates the naturally
+// sync-requiring MK-Seq study.
+func BenchmarkExtensionConvolution(b *testing.B) {
+	runExperiment(b, "convolution")
+}
+
+// BenchmarkMethodologyMSweep regenerates the worker-thread count sweep.
+func BenchmarkMethodologyMSweep(b *testing.B) {
+	runExperiment(b, "msweep")
+}
+
+// BenchmarkMethodologySizeSweep regenerates the dataset-sensitivity
+// study.
+func BenchmarkMethodologySizeSweep(b *testing.B) {
+	runExperiment(b, "sizesweep")
+}
+
+// BenchmarkExtensionTriangular regenerates the imbalanced-workload
+// study (Glinda ICS'14 pipeline end to end).
+func BenchmarkExtensionTriangular(b *testing.B) {
+	runExperiment(b, "triangular")
+}

@@ -1,0 +1,122 @@
+package heteropart
+
+import (
+	"fmt"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/mem"
+)
+
+// ProblemBuilder assembles a custom application problem against the
+// public API: register buffers, declare kernels with their accesses
+// and cost models, list the phases (with OmpSs-style taskwaits), and
+// attach the kernel structure. The stencil and finance examples show
+// the full pattern.
+type ProblemBuilder struct {
+	p      *apps.Problem
+	spaces int
+	err    error
+}
+
+// NewProblem starts a builder for an application named name whose
+// iteration space is n elements, on a platform with the given number
+// of accelerators.
+func NewProblem(name string, n int64, accels int) *ProblemBuilder {
+	if accels < 0 {
+		accels = 0
+	}
+	spaces := 1 + accels
+	return &ProblemBuilder{
+		p: &apps.Problem{
+			AppName: name,
+			N:       n,
+			Iters:   1,
+			Dir:     mem.NewDirectory(spaces),
+		},
+		spaces: spaces,
+	}
+}
+
+// Buffer registers an array of elems elements of elemSize bytes; it
+// starts resident in host memory.
+func (b *ProblemBuilder) Buffer(name string, elems, elemSize int64) *Buffer {
+	return b.p.Dir.Register(name, elems, elemSize)
+}
+
+// Phase appends a kernel invocation. syncAfter inserts a taskwait
+// (global synchronization + flush to host) after it.
+func (b *ProblemBuilder) Phase(k *Kernel, syncAfter bool) *ProblemBuilder {
+	if k == nil {
+		b.fail(fmt.Errorf("heteropart: nil kernel phase"))
+		return b
+	}
+	if k.Size <= 0 {
+		b.fail(fmt.Errorf("heteropart: kernel %q has no iteration space", k.Name))
+		return b
+	}
+	b.p.Phases = append(b.p.Phases, apps.Phase{Kernel: k, SyncAfter: syncAfter})
+	return b
+}
+
+// Structure attaches the kernel structure the classifier should see.
+func (b *ProblemBuilder) Structure(s Structure) *ProblemBuilder {
+	b.p.Structure = s
+	return b
+}
+
+// AtomicPhases marks every phase as one indivisible task instance
+// (DAG applications operating on whole tiles).
+func (b *ProblemBuilder) AtomicPhases() *ProblemBuilder {
+	b.p.AtomicPhases = true
+	return b
+}
+
+// Verify attaches a compute-mode result check.
+func (b *ProblemBuilder) Verify(fn func() error) *ProblemBuilder {
+	b.p.Verify = fn
+	return b
+}
+
+// Iterations records the loop trip count (informational).
+func (b *ProblemBuilder) Iterations(iters int) *ProblemBuilder {
+	if iters > 0 {
+		b.p.Iters = iters
+	}
+	return b
+}
+
+func (b *ProblemBuilder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build finalizes the problem. The structure defaults to the phase
+// sequence when not set explicitly.
+func (b *ProblemBuilder) Build() (*Problem, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.p.Phases) == 0 {
+		return nil, fmt.Errorf("heteropart: problem %q has no phases", b.p.AppName)
+	}
+	seen := make(map[string]bool)
+	b.p.Unique = nil
+	for _, ph := range b.p.Phases {
+		if !seen[ph.Kernel.Name] {
+			seen[ph.Kernel.Name] = true
+			b.p.Unique = append(b.p.Unique, ph.Kernel)
+		}
+	}
+	if b.p.Structure.Flow == nil {
+		var seq FlowSeq
+		for _, ph := range b.p.Phases {
+			seq = append(seq, FlowCall{Kernel: ph.Kernel.Name})
+		}
+		b.p.Structure = Structure{Flow: seq, InterKernelSync: b.p.NeedsSync()}
+	}
+	if _, err := Classify(b.p.Structure); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's evaluation: every table
+// and figure of Section IV, the Discussion studies, and the extension
+// experiments, each with its paper-claim shape checks.
+//
+// Usage:
+//
+//	experiments                 # run everything, print text tables
+//	experiments -exp fig9       # one experiment
+//	experiments -csv out/       # also write CSV files per experiment
+//	experiments -markdown       # emit an EXPERIMENTS.md-style report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"heteropart"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "run a single experiment by id (empty = all)")
+		m        = flag.Int("m", 12, "CPU worker threads")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
+		markdown = flag.Bool("markdown", false, "emit a markdown report instead of plain text")
+		chart    = flag.Bool("chart", false, "render figure experiments as ASCII bar charts too")
+		report   = flag.Bool("report", false, "emit the complete EXPERIMENTS.md document")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range heteropart.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	plat := heteropart.PaperPlatform(*m)
+	if *report {
+		doc, err := heteropart.MarkdownReport(plat)
+		fatal(err)
+		fmt.Print(doc)
+		return
+	}
+	exps := heteropart.Experiments()
+	if *expID != "" {
+		e, err := heteropart.ExperimentByID(*expID)
+		fatal(err)
+		exps = []heteropart.Experiment{e}
+	}
+
+	failures := 0
+	if *markdown {
+		fmt.Printf("# Experiments — paper vs measured\n\nPlatform: %s\n\n", plat)
+	}
+	for _, e := range exps {
+		tab, err := e.Run(plat)
+		fatal(err)
+		if *markdown {
+			fmt.Printf("## %s — %s\n\n", tab.ID, tab.Title)
+			fmt.Printf("```\n%s```\n\n", tab.Render())
+		} else {
+			fmt.Println(tab.Render())
+			if *chart {
+				if c := tab.Chart(); c != "" {
+					fmt.Println(c)
+				}
+			}
+		}
+		if !tab.AllPass() {
+			failures++
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, tab.ID+".csv")
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed their shape checks\n", failures)
+		os.Exit(1)
+	}
+	if !*markdown {
+		fmt.Println(strings.Repeat("=", 60))
+		fmt.Printf("all %d experiments reproduce their paper claims\n", len(exps))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Command hetsim runs one (application, strategy) combination on the
+// simulated platform and reports the measured execution, optionally
+// with the full task/transfer trace (a plain-text Gantt view).
+//
+// Usage:
+//
+//	hetsim -app HotSpot -strategy SP-Single
+//	hetsim -app STREAM-Seq -sync none -strategy DP-Perf -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"heteropart"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "application name")
+		stratName = flag.String("strategy", "", "strategy name (SP-Single, SP-Unified, SP-Varied, DP-Perf, DP-Dep, DP-Converted, Only-CPU, Only-GPU)")
+		syncMode  = flag.String("sync", "default", "inter-kernel sync variant: default|forced|none")
+		m         = flag.Int("m", 12, "CPU worker threads")
+		n         = flag.Int64("n", 0, "problem size (0 = paper default)")
+		iters     = flag.Int("iters", 0, "loop iterations (0 = paper default)")
+		chunks    = flag.Int("chunks", 0, "task instances per kernel (0 = m)")
+		showTrace = flag.Bool("trace", false, "print the execution trace (Gantt view)")
+		compute   = flag.Bool("compute", false, "execute real kernels and verify the result (small sizes)")
+	)
+	flag.Parse()
+
+	if *appName == "" || *stratName == "" {
+		fmt.Fprintln(os.Stderr, "hetsim: -app and -strategy are required")
+		os.Exit(2)
+	}
+	app, err := heteropart.AppByName(*appName)
+	fatal(err)
+	strat, err := heteropart.StrategyByName(*stratName)
+	fatal(err)
+
+	sync := heteropart.SyncDefault
+	switch *syncMode {
+	case "default":
+	case "forced":
+		sync = heteropart.SyncForced
+	case "none":
+		sync = heteropart.SyncNone
+	default:
+		fatal(fmt.Errorf("unknown -sync %q", *syncMode))
+	}
+
+	plat := heteropart.PaperPlatform(*m)
+	problem, err := app.Build(heteropart.Variant{N: *n, Iters: *iters, Sync: sync, Compute: *compute})
+	fatal(err)
+
+	out, err := strat.Run(problem, plat, heteropart.Options{
+		Chunks: *chunks, Compute: *compute, CollectTrace: *showTrace,
+	})
+	fatal(err)
+
+	fmt.Printf("%s on %s (%s)\n", out.Strategy, *appName, plat)
+	fmt.Printf("  makespan:   %.3f ms\n", out.Result.Makespan.Milliseconds())
+	fmt.Printf("  GPU share:  %.1f%%\n", 100*out.GPURatio())
+	fmt.Printf("  instances:  %d (%d scheduling decisions)\n", out.Result.Instances, out.Result.Decisions)
+	fmt.Printf("  transfers:  %d (%.1f MB to device, %.1f MB back)\n",
+		out.Result.TransferCount, float64(out.Result.HtoDBytes)/1e6, float64(out.Result.DtoHBytes)/1e6)
+	devs := make([]int, 0, len(out.Result.InstancesByDevice))
+	for d := range out.Result.InstancesByDevice {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	for _, d := range devs {
+		fmt.Printf("  device %d:   %d instances, %d elems, busy %.3f ms\n",
+			d, out.Result.InstancesByDevice[d], out.Result.ElemsByDevice[d],
+			out.Result.DeviceBusy[d].Milliseconds())
+	}
+	if len(out.Decisions) > 0 {
+		fmt.Println("  glinda decisions:")
+		keys := make([]string, 0, len(out.Decisions))
+		for k := range out.Decisions {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			d := out.Decisions[k]
+			label := k
+			if label == "" {
+				label = "(unified)"
+			}
+			fmt.Printf("    %-10s %s beta=%.3f ng=%d nc=%d (r=%.2f g=%.2f)\n",
+				label, d.Config, d.Beta, d.NG, d.NC, d.R, d.G)
+		}
+	}
+	if *compute {
+		if problem.Verify == nil {
+			fmt.Println("  verify:     (timing-only problem)")
+		} else if err := problem.Verify(); err != nil {
+			fatal(fmt.Errorf("verification failed: %w", err))
+		} else {
+			fmt.Println("  verify:     OK (matches sequential reference)")
+		}
+	}
+	if *showTrace {
+		fmt.Println("utilization:")
+		fmt.Print(indent(out.Trace.UtilizationReport(out.Result.Makespan)))
+		h, d := out.Trace.LinkOccupancy()
+		fmt.Printf("  link busy: %v to device, %v back\n", h, d)
+		fmt.Println("trace:")
+		fmt.Print(out.Trace.Gantt())
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+// Command matchmaker runs the paper's application analyzer on a
+// bundled application: classify its kernel structure, print Table I's
+// ranking for that class, select the best partitioning strategy, and
+// (unless -dry) execute it on the simulated platform.
+//
+// Usage:
+//
+//	matchmaker -app BlackScholes
+//	matchmaker -app STREAM-Seq -sync forced -m 12 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"heteropart"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "application name (see -list)")
+		structur = flag.String("structure", "", `classify a kernel structure without running it, e.g. "loop[10]{copy; scale} !sync"`)
+		list     = flag.Bool("list", false, "list bundled applications and exit")
+		syncMode = flag.String("sync", "default", "inter-kernel sync variant: default|forced|none")
+		m        = flag.Int("m", 12, "CPU worker threads")
+		n        = flag.Int64("n", 0, "problem size (0 = paper default)")
+		iters    = flag.Int("iters", 0, "loop iterations (0 = paper default)")
+		dry      = flag.Bool("dry", false, "analyze only, do not execute")
+		validate = flag.Bool("validate", false, "run every suitable strategy and check Table I's ranking")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range heteropart.Apps() {
+			fmt.Printf("%-14s default n=%d iters=%d\n", a.Name(), a.DefaultN(), a.DefaultIters())
+		}
+		return
+	}
+	if *structur != "" {
+		s, err := heteropart.ParseStructure(*structur)
+		fatal(err)
+		cls, err := heteropart.Classify(s)
+		fatal(err)
+		fmt.Printf("class: %s (Class %s)\n", cls, cls.Roman())
+		ranked := heteropart.Ranking(cls, s.InterKernelSync)
+		fmt.Printf("suitable strategies (best first): %v\n", ranked)
+		return
+	}
+	if *appName == "" {
+		fmt.Fprintln(os.Stderr, "matchmaker: -app or -structure is required (try -list)")
+		os.Exit(2)
+	}
+
+	app, err := heteropart.AppByName(*appName)
+	fatal(err)
+
+	sync := heteropart.SyncDefault
+	switch *syncMode {
+	case "default":
+	case "forced":
+		sync = heteropart.SyncForced
+	case "none":
+		sync = heteropart.SyncNone
+	default:
+		fatal(fmt.Errorf("unknown -sync %q", *syncMode))
+	}
+
+	plat := heteropart.PaperPlatform(*m)
+	fmt.Printf("platform: %s\n", plat)
+
+	variant := heteropart.Variant{N: *n, Iters: *iters, Sync: sync}
+
+	if *validate {
+		val, err := heteropart.ValidateRanking(app, variant, plat, heteropart.Options{})
+		fatal(err)
+		fmt.Printf("%s\n", val.Report)
+		fmt.Printf("theoretical: %v\n", val.Ranked)
+		fmt.Printf("empirical:   %v\n", val.Empirical)
+		names := make([]string, 0, len(val.Times))
+		for s := range val.Times {
+			names = append(names, s)
+		}
+		sort.Slice(names, func(i, j int) bool { return val.Times[names[i]] < val.Times[names[j]] })
+		for _, s := range names {
+			fmt.Printf("  %-11s %10.1f ms\n", s, val.Times[s].Milliseconds())
+		}
+		if val.Matches {
+			fmt.Println("ranking matches Table I")
+		} else {
+			fmt.Println("RANKING MISMATCH")
+			os.Exit(1)
+		}
+		return
+	}
+
+	problem, err := app.Build(variant)
+	fatal(err)
+	report, err := heteropart.Analyze(problem)
+	fatal(err)
+	fmt.Println(report)
+	if *dry {
+		return
+	}
+
+	strat, err := heteropart.StrategyByName(report.Best)
+	fatal(err)
+	out, err := strat.Run(problem, plat, heteropart.Options{})
+	fatal(err)
+	fmt.Printf("executed %s: %.1f ms, GPU share %.0f%%, %d transfers (%.0f MB out, %.0f MB back)\n",
+		out.Strategy, out.Result.Makespan.Milliseconds(), 100*out.GPURatio(),
+		out.Result.TransferCount,
+		float64(out.Result.HtoDBytes)/1e6, float64(out.Result.DtoHBytes)/1e6)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matchmaker:", err)
+		os.Exit(1)
+	}
+}

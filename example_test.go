@@ -1,0 +1,54 @@
+package heteropart_test
+
+import (
+	"fmt"
+
+	"heteropart"
+)
+
+// ExampleAnalyze shows the analyzer's decision pipeline on a bundled
+// application.
+func ExampleAnalyze() {
+	app, _ := heteropart.AppByName("STREAM-Seq")
+	problem, _ := app.Build(heteropart.Variant{N: 1 << 20, Sync: heteropart.SyncForced})
+	report, _ := heteropart.Analyze(problem)
+	fmt.Println(report)
+	// Output:
+	// STREAM-Seq: class MK-Seq (III), inter-kernel sync -> use SP-Varied
+}
+
+// ExampleClassify classifies a kernel structure built from the IR.
+func ExampleClassify() {
+	s := heteropart.Structure{Flow: heteropart.FlowLoop{
+		Body: heteropart.FlowSeq{
+			heteropart.FlowCall{Kernel: "copy"},
+			heteropart.FlowCall{Kernel: "scale"},
+		},
+		Trips: 10,
+	}}
+	cls, _ := heteropart.Classify(s)
+	fmt.Println(cls, cls.Roman())
+	// Output:
+	// MK-Loop IV
+}
+
+// ExampleParseStructure classifies an application from its compact
+// textual description.
+func ExampleParseStructure() {
+	s, _ := heteropart.ParseStructure("dag{potrf; trsm<-potrf; syrk<-trsm; gemm<-trsm,syrk}")
+	cls, _ := heteropart.Classify(s)
+	fmt.Println(cls)
+	fmt.Println(heteropart.Ranking(cls, false))
+	// Output:
+	// MK-DAG
+	// [DP-Perf DP-Dep]
+}
+
+// ExampleRanking prints Table I for one class.
+func ExampleRanking() {
+	fmt.Println(heteropart.Ranking(heteropart.MKSeq, false))
+	fmt.Println(heteropart.Ranking(heteropart.MKSeq, true))
+	// Output:
+	// [SP-Unified DP-Perf DP-Dep SP-Varied]
+	// [SP-Varied DP-Perf DP-Dep SP-Unified]
+}

@@ -1,0 +1,51 @@
+// Quickstart: classify a bundled application, let the analyzer pick
+// the best partitioning strategy (Table I), and execute it on the
+// simulated Xeon E5-2620 + Tesla K20m platform.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart"
+)
+
+func main() {
+	// The paper's evaluation platform with all 12 CPU worker threads.
+	plat := heteropart.PaperPlatform(12)
+	fmt.Println("platform:", plat)
+
+	for _, name := range []string{"MatrixMul", "BlackScholes", "HotSpot"} {
+		app, err := heteropart.AppByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		problem, err := app.Build(heteropart.Variant{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The matchmaking pipeline of the paper's Fig. 2: classify the
+		// kernel structure, rank the suitable strategies, run the best.
+		report, outcome, err := heteropart.Matchmake(problem, plat, heteropart.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
+		fmt.Printf("  -> %.1f ms, GPU got %.0f%% of the work\n",
+			outcome.Result.Makespan.Milliseconds(), 100*outcome.GPURatio())
+
+		// Compare against the single-device references.
+		for _, ref := range []string{"Only-GPU", "Only-CPU"} {
+			s, _ := heteropart.StrategyByName(ref)
+			p2, _ := app.Build(heteropart.Variant{})
+			o, err := s.Run(p2, plat, heteropart.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			speedup := o.Result.Makespan.Seconds() / outcome.Result.Makespan.Seconds()
+			fmt.Printf("  vs %-8s %.1f ms (best is %.2fx faster)\n",
+				ref, o.Result.Makespan.Milliseconds(), speedup)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package heteropart matches data-parallel applications with workload
+// partitioning strategies for efficient execution on heterogeneous
+// (CPU + accelerator) platforms, reproducing Shen, Varbanescu,
+// Martorell and Sips, "Matchmaking Applications and Partitioning
+// Strategies for Efficient Execution on Heterogeneous Platforms"
+// (ICPP 2015).
+//
+// The library bundles everything the paper builds on:
+//
+//   - a deterministic discrete-event simulator of heterogeneous
+//     platforms (CPU + GPU datasheet models, PCIe links, distinct
+//     memory spaces) calibrated to the paper's Xeon E5-2620 + Tesla
+//     K20m testbed;
+//   - an OmpSs-like task runtime: data-dependency analysis, automatic
+//     host<->device transfers, taskwait semantics and pluggable
+//     schedulers;
+//   - the Glinda static partitioning model (profiling + prediction +
+//     hardware-configuration decision);
+//   - the application classifier (SK-One, SK-Loop, MK-Seq, MK-Loop,
+//     MK-DAG) and the five partitioning strategies (SP-Single,
+//     SP-Unified, SP-Varied, DP-Dep, DP-Perf);
+//   - the analyzer that ranks the suitable strategies per class
+//     (Table I) and selects the best;
+//   - the paper's six evaluation applications plus a Class-V blocked
+//     Cholesky, and the harness regenerating every evaluation figure
+//     and table.
+//
+// Quick start:
+//
+//	plat := heteropart.PaperPlatform(12)
+//	app, _ := heteropart.AppByName("BlackScholes")
+//	problem, _ := app.Build(heteropart.Variant{})
+//	report, outcome, _ := heteropart.Matchmake(problem, plat, heteropart.Options{})
+//	fmt.Println(report, outcome.Result.Makespan)
+package heteropart
+
+import (
+	"heteropart/internal/analyzer"
+	"heteropart/internal/apps"
+	"heteropart/internal/classify"
+	"heteropart/internal/device"
+	"heteropart/internal/exp"
+	"heteropart/internal/glinda"
+	"heteropart/internal/mem"
+	"heteropart/internal/rt"
+	"heteropart/internal/sim"
+	"heteropart/internal/strategy"
+	"heteropart/internal/task"
+	"heteropart/internal/trace"
+)
+
+// Platform and device modeling.
+type (
+	// Platform is a host CPU plus attached accelerators.
+	Platform = device.Platform
+	// Device is a processing unit instantiated on a platform.
+	Device = device.Device
+	// DeviceModel is the datasheet description of a processing unit.
+	DeviceModel = device.Model
+	// DeviceKind discriminates CPUs, GPUs and generic accelerators.
+	DeviceKind = device.Kind
+	// Link models a host<->accelerator interconnect.
+	Link = device.Link
+	// Attachment pairs an accelerator model with its host link.
+	Attachment = device.Attachment
+	// Efficiency calibrates a kernel's achieved fraction of peak.
+	Efficiency = device.Efficiency
+	// Precision selects single or double precision peaks.
+	Precision = device.Precision
+)
+
+// Device kinds and precisions.
+const (
+	CPU = device.CPU
+	GPU = device.GPU
+	// Accel is a generic many-core accelerator.
+	Accel = device.Accel
+
+	// SP and DP select the peak-FLOPS figure a kernel uses.
+	SP = device.SP
+	DP = device.DP
+)
+
+// Tasking and memory.
+type (
+	// Kernel describes one parallel section: iteration space, cost
+	// model, efficiencies, data accesses and an optional real
+	// implementation.
+	Kernel = task.Kernel
+	// Access names a buffer region a kernel chunk touches.
+	Access = task.Access
+	// AccessMode is in/out/inout.
+	AccessMode = task.Mode
+	// Buffer is a registered array.
+	Buffer = mem.Buffer
+	// Interval is a half-open element range.
+	Interval = mem.Interval
+	// Trace records task placements and transfers of one execution.
+	Trace = trace.Trace
+	// ExecutionResult summarizes one runtime execution.
+	ExecutionResult = rt.Result
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Duration
+)
+
+// Access modes.
+const (
+	Read      = task.Read
+	Write     = task.Write
+	ReadWrite = task.ReadWrite
+)
+
+// Classification.
+type (
+	// Class is one of the paper's five application classes.
+	Class = classify.Class
+	// Structure is an application's kernel structure (the IR the
+	// classifier walks).
+	Structure = classify.Structure
+	// FlowCall, FlowSeq, FlowLoop and FlowDAG build Structure flows.
+	FlowCall = classify.Call
+	FlowSeq  = classify.Seq
+	FlowLoop = classify.Loop
+	FlowDAG  = classify.DAG
+	// DAGCall is one node of a FlowDAG.
+	DAGCall = classify.DAGCall
+)
+
+// The five classes.
+const (
+	SKOne  = classify.SKOne
+	SKLoop = classify.SKLoop
+	MKSeq  = classify.MKSeq
+	MKLoop = classify.MKLoop
+	MKDAG  = classify.MKDAG
+)
+
+// Applications and execution.
+type (
+	// App builds problem instances.
+	App = apps.App
+	// Problem is an instantiated workload.
+	Problem = apps.Problem
+	// Phase is one kernel invocation in program order.
+	Phase = apps.Phase
+	// Variant parameterizes a problem build.
+	Variant = apps.Variant
+	// SyncMode selects the inter-kernel synchronization variant.
+	SyncMode = apps.SyncMode
+	// Strategy is a partitioning strategy.
+	Strategy = strategy.Strategy
+	// Options tunes strategy execution.
+	Options = strategy.Options
+	// Outcome is a measured strategy execution.
+	Outcome = strategy.Outcome
+	// Report is the analyzer's matchmaking decision.
+	Report = analyzer.Report
+	// Validation is an empirical Table-I ranking check.
+	Validation = analyzer.Validation
+	// GlindaConfig tunes the static-partitioning pipeline.
+	GlindaConfig = glinda.Config
+	// GlindaDecision is a hardware-configuration + partitioning
+	// decision.
+	GlindaDecision = glinda.Decision
+	// Experiment regenerates one paper table or figure.
+	Experiment = exp.Experiment
+	// ResultTable is an experiment's rendered output.
+	ResultTable = exp.Table
+)
+
+// Synchronization variants.
+const (
+	SyncDefault = apps.SyncDefault
+	SyncForced  = apps.SyncForced
+	SyncNone    = apps.SyncNone
+)
+
+// PaperPlatform builds the evaluation platform of the paper's Table
+// III — an Intel Xeon E5-2620 host with an Nvidia Tesla K20m on PCIe
+// 2.0 — with m CPU worker threads (m <= 0 selects all 12 hardware
+// threads).
+func PaperPlatform(m int) *Platform { return device.PaperPlatform(m) }
+
+// NewPlatform builds a custom platform from a CPU model and
+// accelerator attachments.
+func NewPlatform(cpu DeviceModel, cpuThreads int, accels ...Attachment) *Platform {
+	return device.NewPlatform(cpu, cpuThreads, accels...)
+}
+
+// Device catalog (datasheet models ready to attach).
+var (
+	XeonE5_2620  = device.XeonE5_2620
+	TeslaK20m    = device.TeslaK20m
+	GTX680       = device.GTX680
+	XeonPhi5110P = device.XeonPhi5110P
+	PCIeGen2x16  = device.PCIeGen2x16
+	PCIeGen3x16  = device.PCIeGen3x16
+)
+
+// Apps returns the bundled applications (the paper's Table II plus the
+// Class-V Cholesky).
+func Apps() []App { return apps.Registry() }
+
+// AppByName finds a bundled application.
+func AppByName(name string) (App, error) { return apps.ByName(name) }
+
+// Strategies returns every partitioning strategy plus the Only-CPU /
+// Only-GPU references.
+func Strategies() []Strategy { return strategy.All() }
+
+// StrategyByName finds a strategy ("SP-Single", "DP-Perf", ...).
+func StrategyByName(name string) (Strategy, error) { return strategy.ByName(name) }
+
+// Classify determines the application class of a kernel structure.
+func Classify(s Structure) (Class, error) { return classify.Classify(s) }
+
+// ParseStructure reads a kernel structure from its compact textual
+// form, e.g. "loop[10]{copy; scale; add; triad} !sync" — see the
+// matchmaker CLI's -structure flag.
+func ParseStructure(src string) (Structure, error) { return classify.Parse(src) }
+
+// Ranking returns Table I's strategy ordering for a class.
+func Ranking(cls Class, needsSync bool) []string { return analyzer.Ranking(cls, needsSync) }
+
+// Analyze classifies a problem and selects the best-ranked strategy
+// (the paper's application analyzer, Fig. 2).
+func Analyze(p *Problem) (Report, error) { return analyzer.Analyze(p) }
+
+// Matchmake analyzes a problem, then runs the selected strategy on the
+// platform.
+func Matchmake(p *Problem, plat *Platform, opts Options) (Report, *Outcome, error) {
+	return analyzer.Matchmake(p, plat, opts)
+}
+
+// ValidateRanking runs every suitable strategy for an application and
+// checks the empirical ordering against Table I.
+func ValidateRanking(app App, v Variant, plat *Platform, opts Options) (*Validation, error) {
+	return analyzer.ValidateRanking(app, v, plat, opts)
+}
+
+// Experiments returns the harness regenerating every evaluation table
+// and figure of the paper.
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID finds one experiment ("fig5a", "table1", ...).
+func ExperimentByID(id string) (Experiment, error) { return exp.ByID(id) }
+
+// MarkdownReport runs every experiment and renders the complete
+// EXPERIMENTS.md document (paper-vs-measured, with shape checks).
+func MarkdownReport(plat *Platform) (string, error) { return exp.MarkdownReport(plat) }

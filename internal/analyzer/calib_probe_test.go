@@ -1,0 +1,61 @@
+package analyzer
+
+import (
+	"fmt"
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/strategy"
+)
+
+// TestCalibrationProbe prints paper-size behaviour for manual
+// calibration inspection; enable with -run Probe -v.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	plat := device.PaperPlatform(12)
+	cases := []struct {
+		name string
+		v    apps.Variant
+	}{
+		{"MatrixMul", apps.Variant{}},
+		{"BlackScholes", apps.Variant{}},
+		{"Nbody", apps.Variant{}},
+		{"HotSpot", apps.Variant{}},
+		{"STREAM-Seq", apps.Variant{Sync: apps.SyncNone}},
+		{"STREAM-Seq", apps.Variant{Sync: apps.SyncForced}},
+		{"STREAM-Loop", apps.Variant{Sync: apps.SyncNone}},
+		{"STREAM-Loop", apps.Variant{Sync: apps.SyncForced}},
+	}
+	for _, c := range cases {
+		app, _ := apps.ByName(c.name)
+		probe, err := app.Build(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := append([]string{"Only-GPU", "Only-CPU"}, rep.Ranked...)
+		fmt.Printf("== %s sync=%d class=%v needsSync=%v\n", c.name, c.v.Sync, rep.Class, rep.NeedsSync)
+		for _, sn := range names {
+			s, _ := strategy.ByName(sn)
+			p, err := app.Build(c.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := s.Run(p, plat, strategy.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("   %-11s %10.1f ms  gpuRatio=%.2f  transfers=%d (%.0f/%.0f MB) dec=%d\n",
+				sn, out.Result.Makespan.Milliseconds(), out.GPURatio(),
+				out.Result.TransferCount,
+				float64(out.Result.HtoDBytes)/1e6, float64(out.Result.DtoHBytes)/1e6,
+				out.Result.Decisions)
+		}
+	}
+}

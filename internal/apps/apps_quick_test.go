@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"heteropart/internal/device"
+)
+
+// timingProblems builds every app in timing mode at a modest size.
+func timingProblems(t *testing.T) []*Problem {
+	t.Helper()
+	var out []*Problem
+	for _, a := range Registry() {
+		n := int64(512)
+		if a.Name() == "Cholesky" {
+			n = 4096 // needs tile divisibility
+		}
+		p, err := a.Build(Variant{N: n, Iters: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestQuickCostModelsAdditive: for every kernel, cost of [lo,hi) must
+// equal cost of [lo,mid) + cost of [mid,hi) — chunking never changes
+// the total work (launch overheads are modeled separately).
+func TestQuickCostModelsAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range timingProblems(t) {
+		for _, k := range p.Unique {
+			for trial := 0; trial < 50; trial++ {
+				lo := rng.Int63n(k.Size)
+				hi := lo + rng.Int63n(k.Size-lo)
+				if hi <= lo+1 {
+					continue
+				}
+				mid := lo + 1 + rng.Int63n(hi-lo-1)
+				whole := k.Work(lo, hi)
+				a := k.Work(lo, mid)
+				b := k.Work(mid, hi)
+				if !closeF(whole.Flops, a.Flops+b.Flops) {
+					t.Fatalf("%s/%s: flops not additive: f(%d,%d)=%g != %g+%g",
+						p.AppName, k.Name, lo, hi, whole.Flops, a.Flops, b.Flops)
+				}
+				if !closeF(whole.Bytes, a.Bytes+b.Bytes) {
+					t.Fatalf("%s/%s: bytes not additive", p.AppName, k.Name)
+				}
+			}
+		}
+	}
+}
+
+func closeF(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= 1e-9*m+1e-9
+}
+
+// TestQuickAccessesCoverWrites: every kernel's write accesses for a
+// chunk must stay inside buffers and the union of chunk writes over a
+// full split must cover what the whole-kernel write covers.
+func TestQuickAccessesWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, p := range timingProblems(t) {
+		for _, k := range p.Unique {
+			for trial := 0; trial < 30; trial++ {
+				lo := rng.Int63n(k.Size)
+				hi := lo + 1 + rng.Int63n(k.Size-lo)
+				if hi > k.Size {
+					hi = k.Size
+				}
+				for _, a := range k.AccessesOf(lo, hi) {
+					if a.Interval.Lo < 0 || a.Interval.Hi > a.Buf.Elems {
+						t.Fatalf("%s/%s: access %v escapes buffer %s[0,%d)",
+							p.AppName, k.Name, a, a.Buf.Name, a.Buf.Elems)
+					}
+					if a.Interval.Empty() {
+						t.Fatalf("%s/%s: empty access %v for nonempty chunk", p.AppName, k.Name, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickCostNonNegative: costs are nonnegative and zero for empty
+// chunks.
+func TestQuickCostNonNegative(t *testing.T) {
+	for _, p := range timingProblems(t) {
+		for _, k := range p.Unique {
+			w := k.Work(0, 0)
+			if w.Flops != 0 || w.Bytes != 0 {
+				t.Fatalf("%s/%s: empty chunk has work %+v", p.AppName, k.Name, w)
+			}
+			full := k.Work(0, k.Size)
+			if full.Flops < 0 || full.Bytes < 0 {
+				t.Fatalf("%s/%s: negative work", p.AppName, k.Name)
+			}
+			if full.Flops == 0 && full.Bytes == 0 {
+				t.Fatalf("%s/%s: zero total work", p.AppName, k.Name)
+			}
+		}
+	}
+}
+
+// TestEveryAppHasCalibratedEfficiencies: every kernel declares CPU and
+// GPU efficiency factors (the calibration table).
+func TestEveryAppHasCalibratedEfficiencies(t *testing.T) {
+	for _, p := range timingProblems(t) {
+		for _, k := range p.Unique {
+			if k.Eff == nil {
+				t.Fatalf("%s/%s: no efficiency calibration", p.AppName, k.Name)
+			}
+			for _, kind := range []device.Kind{device.CPU, device.GPU} {
+				if !k.Eff[kind].Valid() {
+					t.Fatalf("%s/%s: invalid %v efficiency %+v", p.AppName, k.Name, kind, k.Eff[kind])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package apps
+
+import (
+	"testing"
+
+	"heteropart/internal/classify"
+)
+
+func TestConvolutionCorrect(t *testing.T) {
+	p, err := NewConvolution().Build(smallVariant(48, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSequential(t, p)
+	p2, _ := NewConvolution().Build(smallVariant(48, 1))
+	runSplit(t, p2)
+}
+
+func TestConvolutionClassAndSync(t *testing.T) {
+	p, err := NewConvolution().Build(Variant{N: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Class(); got != classify.MKSeq {
+		t.Fatalf("class = %v, want MK-Seq", got)
+	}
+	if !p.NeedsSync() {
+		t.Fatal("convolution must declare inter-kernel sync")
+	}
+	// The vertical pass's halo must be *derivable* too: the access-
+	// pattern analysis independently detects the sync requirement.
+	if !classify.DetectSync(p.Unique, 128) {
+		t.Fatal("vertical halo not detected as sync-requiring")
+	}
+}
+
+func TestConvolutionWeightsNormalized(t *testing.T) {
+	var sum float32
+	for _, w := range convWeights {
+		if w <= 0 {
+			t.Fatal("non-positive filter weight")
+		}
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestConvolutionHaloAccess(t *testing.T) {
+	p, _ := NewConvolution().Build(Variant{N: 64})
+	vertical := p.KernelByName("conv_cols")
+	if vertical == nil {
+		t.Fatal("conv_cols missing")
+	}
+	acc := vertical.AccessesOf(10, 20)
+	found := false
+	for _, a := range acc {
+		if a.Mode.Reads() && a.Interval.Lo == (10-convRadius)*64 && a.Interval.Hi == (20+convRadius)*64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("halo read missing: %v", acc)
+	}
+	// The horizontal pass is row-local: no halo.
+	horizontal := p.KernelByName("conv_rows")
+	for _, a := range horizontal.AccessesOf(10, 20) {
+		if a.Interval.Lo < 10*64 || a.Interval.Hi > 20*64 {
+			t.Fatalf("conv_rows access escapes its chunk: %v", a)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package classify
+
+// The paper's classification is grounded in a study of 86 applications
+// from five benchmark suites (tech report PDS-2015-001, reference
+// [18]), concluding that the five classes cover all of them. The
+// original report is not publicly archived, so this catalog is a
+// *reconstruction*: the application names are the real members of the
+// five suites, and each kernel structure is modeled from the
+// application's publicly documented algorithm. It exists to exercise
+// the classifier at realistic scale and to reproduce the coverage
+// claim, not to be a bit-exact copy of the report.
+
+// CatalogEntry is one studied application.
+type CatalogEntry struct {
+	Suite     string
+	Name      string
+	Structure Structure
+}
+
+// Suites lists the five studied benchmark suites.
+var Suites = []string{"Rodinia", "Parboil", "SHOC", "NVIDIA SDK", "AMD APP SDK"}
+
+func single(k string) Structure { return Structure{Flow: Call{Kernel: k}} }
+
+func singleLoop(k string, trips int) Structure {
+	return Structure{Flow: Loop{Body: Call{Kernel: k}, Trips: trips}, InterKernelSync: true}
+}
+
+func seq(sync bool, ks ...string) Structure {
+	s := make(Seq, len(ks))
+	for i, k := range ks {
+		s[i] = Call{Kernel: k}
+	}
+	return Structure{Flow: s, InterKernelSync: sync}
+}
+
+func loopSeq(trips int, sync bool, ks ...string) Structure {
+	s := make(Seq, len(ks))
+	for i, k := range ks {
+		s[i] = Call{Kernel: k}
+	}
+	return Structure{Flow: Loop{Body: s, Trips: trips}, InterKernelSync: sync}
+}
+
+func dag(calls ...DAGCall) Structure {
+	return Structure{Flow: DAG{Calls: calls}, InterKernelSync: true}
+}
+
+// Catalog returns the 86 reconstructed applications.
+func Catalog() []CatalogEntry {
+	e := func(suite, name string, s Structure) CatalogEntry {
+		return CatalogEntry{Suite: suite, Name: name, Structure: s}
+	}
+	return []CatalogEntry{
+		// Rodinia (Che et al., IISWC 2009) — 23 apps.
+		e("Rodinia", "backprop", seq(true, "layerforward", "adjust_weights")),
+		e("Rodinia", "bfs", singleLoop("bfs_kernel", 0)),
+		e("Rodinia", "b+tree", seq(false, "findK", "findRangeK")),
+		e("Rodinia", "cfd", loopSeq(0, true, "compute_step_factor", "compute_flux", "time_step")),
+		e("Rodinia", "dwt2d", loopSeq(3, true, "fdwt_horizontal", "fdwt_vertical")),
+		e("Rodinia", "gaussian", loopSeq(0, true, "fan1", "fan2")),
+		e("Rodinia", "heartwall", singleLoop("track_kernel", 0)),
+		e("Rodinia", "hotspot", singleLoop("hotspot_kernel", 0)),
+		e("Rodinia", "hotspot3D", singleLoop("hotspot3d_kernel", 0)),
+		e("Rodinia", "huffman", dag(
+			DAGCall{Kernel: "histogram"},
+			DAGCall{Kernel: "build_tree", After: []int{0}},
+			DAGCall{Kernel: "gen_codes", After: []int{1}},
+			DAGCall{Kernel: "encode", After: []int{0, 2}})),
+		e("Rodinia", "kmeans", loopSeq(0, true, "assign_cluster", "update_centroids")),
+		e("Rodinia", "lavaMD", single("md_kernel")),
+		e("Rodinia", "leukocyte", loopSeq(0, true, "gicov", "dilate", "evolve")),
+		e("Rodinia", "lud", loopSeq(0, true, "lud_diagonal", "lud_perimeter", "lud_internal")),
+		e("Rodinia", "mummergpu", seq(false, "match_kernel", "print_kernel")),
+		e("Rodinia", "myocyte", singleLoop("solver_kernel", 0)),
+		e("Rodinia", "nn", single("nearest_neighbor")),
+		e("Rodinia", "nw", loopSeq(0, true, "nw_diagonal_up", "nw_diagonal_down")),
+		e("Rodinia", "particlefilter", loopSeq(0, true, "likelihood", "sum_weights", "normalize", "resample")),
+		e("Rodinia", "pathfinder", singleLoop("dynproc_kernel", 0)),
+		e("Rodinia", "srad", loopSeq(0, true, "srad_prep", "srad_update")),
+		e("Rodinia", "streamcluster", singleLoop("pgain_kernel", 0)),
+		e("Rodinia", "sc_gpu", seq(true, "dist_kernel", "gain_kernel")),
+
+		// Parboil (Stratton et al., 2012) — 11 apps.
+		e("Parboil", "bfs", singleLoop("bfs_kernel", 0)),
+		e("Parboil", "cutcp", single("cutoff_potential")),
+		e("Parboil", "histo", seq(true, "histo_prescan", "histo_main", "histo_final")),
+		e("Parboil", "lbm", singleLoop("stream_collide", 0)),
+		e("Parboil", "mri-gridding", seq(true, "binning", "gridding", "reorder")),
+		e("Parboil", "mri-q", seq(false, "compute_phimag", "compute_q")),
+		e("Parboil", "sad", seq(false, "sad_calc", "sad_calc_8", "sad_calc_16")),
+		e("Parboil", "sgemm", single("sgemm_kernel")),
+		e("Parboil", "spmv", single("spmv_jds")),
+		e("Parboil", "stencil", singleLoop("stencil_kernel", 0)),
+		e("Parboil", "tpacf", single("tpacf_kernel")),
+
+		// SHOC (Danalis et al., GPGPU 2010) — 13 apps.
+		e("SHOC", "bfs", singleLoop("bfs_kernel", 0)),
+		e("SHOC", "fft", loopSeq(0, false, "fft_radix", "fft_transpose")),
+		e("SHOC", "gemm", single("gemm_kernel")),
+		e("SHOC", "md", single("lj_force")),
+		e("SHOC", "md5hash", single("md5_search")),
+		e("SHOC", "neuralnet", loopSeq(0, true, "forward", "backward", "update")),
+		e("SHOC", "reduction", singleLoop("reduce_kernel", 0)),
+		e("SHOC", "s3d", seq(true, "ratt", "rdsmh", "gr_base", "qssa")),
+		e("SHOC", "scan", seq(true, "scan_block", "scan_top", "scan_add")),
+		e("SHOC", "sort", loopSeq(0, true, "radix_count", "radix_scan", "radix_scatter")),
+		e("SHOC", "spmv", single("spmv_csr")),
+		e("SHOC", "stencil2d", singleLoop("stencil_kernel", 0)),
+		e("SHOC", "triad", single("triad_kernel")),
+
+		// NVIDIA OpenCL SDK — 24 apps.
+		e("NVIDIA SDK", "BlackScholes", single("black_scholes")),
+		e("NVIDIA SDK", "ConvolutionSeparable", seq(true, "conv_rows", "conv_cols")),
+		e("NVIDIA SDK", "DCT8x8", single("dct8x8")),
+		e("NVIDIA SDK", "DXTCompression", single("dxt_compress")),
+		e("NVIDIA SDK", "DotProduct", single("dot_product")),
+		e("NVIDIA SDK", "FDTD3d", singleLoop("fdtd_step", 0)),
+		e("NVIDIA SDK", "HiddenMarkovModel", loopSeq(0, true, "viterbi_step", "viterbi_path")),
+		e("NVIDIA SDK", "Histogram", seq(true, "histogram_partial", "histogram_merge")),
+		e("NVIDIA SDK", "MatVecMul", single("matvec_mul")),
+		e("NVIDIA SDK", "MatrixMul", single("matrix_mul")),
+		e("NVIDIA SDK", "MedianFilter", single("median_filter")),
+		e("NVIDIA SDK", "MersenneTwister", seq(false, "mt_generate", "box_muller")),
+		e("NVIDIA SDK", "MonteCarlo", seq(true, "mc_paths", "mc_reduce")),
+		e("NVIDIA SDK", "Nbody", singleLoop("nbody_force", 0)),
+		e("NVIDIA SDK", "QuasirandomGenerator", seq(false, "quasirandom", "inverse_cnd")),
+		e("NVIDIA SDK", "RadixSort", loopSeq(0, true, "radix_blocks", "radix_scan", "radix_scatter")),
+		e("NVIDIA SDK", "Reduction", singleLoop("reduce_kernel", 0)),
+		e("NVIDIA SDK", "Scan", seq(true, "scan_exclusive_local", "scan_exclusive_update")),
+		e("NVIDIA SDK", "SobelFilter", single("sobel_filter")),
+		e("NVIDIA SDK", "SobolQRNG", single("sobol_qrng")),
+		e("NVIDIA SDK", "Transpose", single("transpose")),
+		e("NVIDIA SDK", "Tridiagonal", loopSeq(0, true, "cyclic_reduce", "cyclic_substitute")),
+		e("NVIDIA SDK", "VectorAdd", single("vector_add")),
+		e("NVIDIA SDK", "oclSimpleMultiGPU", single("reduce_partial")),
+
+		// AMD APP SDK — 15 apps.
+		e("AMD APP SDK", "AESEncryptDecrypt", single("aes_encrypt")),
+		e("AMD APP SDK", "BinarySearch", singleLoop("binary_search", 0)),
+		e("AMD APP SDK", "BinomialOption", singleLoop("binomial_step", 0)),
+		e("AMD APP SDK", "BitonicSort", loopSeq(0, true, "bitonic_global", "bitonic_local")),
+		e("AMD APP SDK", "BoxFilter", seq(true, "box_horizontal", "box_vertical")),
+		e("AMD APP SDK", "DwtHaar1D", singleLoop("dwt_haar_level", 0)),
+		e("AMD APP SDK", "FastWalshTransform", singleLoop("fwt_step", 0)),
+		e("AMD APP SDK", "FloydWarshall", singleLoop("floyd_warshall_pass", 0)),
+		e("AMD APP SDK", "MatrixTranspose", single("matrix_transpose")),
+		e("AMD APP SDK", "MonteCarloAsian", loopSeq(0, true, "mc_sim", "mc_sum")),
+		e("AMD APP SDK", "NBody", singleLoop("nbody_kernel", 0)),
+		e("AMD APP SDK", "PrefixSum", seq(true, "prefix_local", "prefix_global")),
+		e("AMD APP SDK", "RecursiveGaussian", seq(true, "gauss_rows", "transpose", "gauss_cols", "transpose2")),
+		e("AMD APP SDK", "SimpleConvolution", single("simple_convolution")),
+		e("AMD APP SDK", "URNG", single("urng_kernel")),
+	}
+}
+
+// CoverageByClass classifies the whole catalog and tallies per class.
+// Every entry must classify (the paper's "five classes cover all 86
+// applications" claim).
+func CoverageByClass() (map[Class]int, error) {
+	out := make(map[Class]int)
+	for _, entry := range Catalog() {
+		c, err := Classify(entry.Structure)
+		if err != nil {
+			return nil, err
+		}
+		out[c]++
+	}
+	return out, nil
+}

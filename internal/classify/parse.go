@@ -1,0 +1,240 @@
+package classify
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a kernel structure from a compact textual form, so the
+// analyzer can classify applications described on a command line or in
+// a config file without building them:
+//
+//	kernel                          a single call
+//	a; b; c                         a sequence
+//	loop{a}  loop[20]{a; b}         a loop (optional trip count)
+//	dag{a; b<-a; c<-a; d<-b,c}      a DAG with named dependencies
+//	sync                            marks the structure as requiring
+//	                                inter-kernel synchronization when it
+//	                                appears as a trailing attribute:
+//	                                "a; b !sync"
+//
+// Kernel names are identifiers ([A-Za-z0-9_]+). Whitespace is free.
+//
+// Examples:
+//
+//	Parse("loop[10]{force}")            -> SK-Loop
+//	Parse("copy; scale; add; triad")    -> MK-Seq
+//	Parse("loop{copy; scale} !sync")    -> MK-Loop, needs sync
+func Parse(src string) (Structure, error) {
+	p := &parser{input: src}
+	p.skipSpace()
+	needsSync := false
+	// Trailing "!sync" attribute.
+	if idx := strings.LastIndex(src, "!sync"); idx >= 0 {
+		rest := strings.TrimSpace(src[idx+len("!sync"):])
+		if rest != "" {
+			return Structure{}, fmt.Errorf("classify: trailing input after !sync: %q", rest)
+		}
+		p.input = src[:idx]
+		needsSync = true
+	}
+	node, err := p.parseSeq()
+	if err != nil {
+		return Structure{}, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return Structure{}, fmt.Errorf("classify: unexpected input at %q", p.rest())
+	}
+	s := Structure{Flow: node, InterKernelSync: needsSync}
+	if _, err := Classify(s); err != nil {
+		return Structure{}, err
+	}
+	return s, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) eof() bool    { return p.pos >= len(p.input) }
+func (p *parser) rest() string { return p.input[p.pos:] }
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("classify: expected %q at %q", string(c), p.rest())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		c := p.input[p.pos]
+		if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("classify: expected identifier at %q", p.rest())
+	}
+	return p.input[start:p.pos], nil
+}
+
+// parseSeq parses one or more elements separated by ';'.
+func (p *parser) parseSeq() (Node, error) {
+	var elems []Node
+	for {
+		n, err := p.parseElem()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, n)
+		p.skipSpace()
+		if p.peek() != ';' {
+			break
+		}
+		p.pos++
+		p.skipSpace()
+		if p.eof() || p.peek() == '}' { // trailing separator
+			break
+		}
+	}
+	if len(elems) == 1 {
+		return elems[0], nil
+	}
+	return Seq(elems), nil
+}
+
+// parseElem parses a call, loop or dag.
+func (p *parser) parseElem() (Node, error) {
+	p.skipSpace()
+	save := p.pos
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "loop":
+		trips := 0
+		p.skipSpace()
+		if p.peek() == '[' {
+			p.pos++
+			p.skipSpace()
+			start := p.pos
+			for !p.eof() && unicode.IsDigit(rune(p.input[p.pos])) {
+				p.pos++
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(p.input[start:p.pos]))
+			if err != nil {
+				return nil, fmt.Errorf("classify: bad trip count at %q", p.rest())
+			}
+			trips = v
+			if err := p.expect(']'); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect('{'); err != nil {
+			return nil, err
+		}
+		body, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('}'); err != nil {
+			return nil, err
+		}
+		return Loop{Body: body, Trips: trips}, nil
+	case "dag":
+		if err := p.expect('{'); err != nil {
+			return nil, err
+		}
+		d, err := p.parseDAG()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('}'); err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		p.pos = save
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return Call{Kernel: n}, nil
+	}
+}
+
+// parseDAG parses "a; b<-a; c<-a,b" into a DAG with named edges.
+func (p *parser) parseDAG() (DAG, error) {
+	var d DAG
+	index := make(map[string]int)
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return DAG{}, err
+		}
+		if _, dup := index[name]; dup {
+			return DAG{}, fmt.Errorf("classify: duplicate DAG node %q", name)
+		}
+		call := DAGCall{Kernel: name}
+		p.skipSpace()
+		if strings.HasPrefix(p.rest(), "<-") {
+			p.pos += 2
+			for {
+				dep, err := p.ident()
+				if err != nil {
+					return DAG{}, err
+				}
+				di, ok := index[dep]
+				if !ok {
+					return DAG{}, fmt.Errorf("classify: DAG node %q depends on undefined %q", name, dep)
+				}
+				call.After = append(call.After, di)
+				p.skipSpace()
+				if p.peek() != ',' {
+					break
+				}
+				p.pos++
+			}
+		}
+		index[name] = len(d.Calls)
+		d.Calls = append(d.Calls, call)
+		p.skipSpace()
+		if p.peek() != ';' {
+			break
+		}
+		p.pos++
+		p.skipSpace()
+		if p.peek() == '}' {
+			break
+		}
+	}
+	if len(d.Calls) == 0 {
+		return DAG{}, fmt.Errorf("classify: empty DAG")
+	}
+	return d, nil
+}

@@ -1,0 +1,112 @@
+package classify
+
+import "testing"
+
+func TestParseClasses(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Class
+		sync bool
+	}{
+		{"matmul", SKOne, false},
+		{"loop{force}", SKLoop, false},
+		{"loop[10]{force}", SKLoop, false},
+		{"force; force", SKLoop, false},
+		{"copy; scale; add; triad", MKSeq, false},
+		{"loop{copy; scale; add; triad}", MKLoop, false},
+		{"loop[20]{a;b} !sync", MKLoop, true},
+		{"a; b !sync", MKSeq, true},
+		{"dag{a; b<-a; c<-a; d<-b,c}", MKDAG, false},
+		{"dag{a; b<-a; c<-b}", MKSeq, false}, // chain degenerates
+		{"init; loop{a; b}", MKLoop, false},
+		{"a; loop[5]{b}; c", MKSeq, false}, // inner loop unrolls
+		{"  spaced   ;   out  ", MKSeq, false},
+		{"a;b;", MKSeq, false}, // trailing separator
+	}
+	for _, c := range cases {
+		s, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		got := MustClassify(s)
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.src, got, c.want)
+		}
+		if s.InterKernelSync != c.sync {
+			t.Errorf("Parse(%q) sync = %v, want %v", c.src, s.InterKernelSync, c.sync)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"loop{",
+		"loop[x]{a}",
+		"loop[]{a}",
+		"dag{}",
+		"dag{a; b<-z}",
+		"dag{a; a}",
+		"a; !sync extra",
+		"a b",      // missing separator
+		"loop{a}}", // stray brace
+		"; a",
+		"dag{a b}",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughRanking(t *testing.T) {
+	s, err := Parse("loop{copy; scale; add; triad} !sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MustClassify(s); got != MKLoop {
+		t.Fatalf("class = %v", got)
+	}
+	if !s.InterKernelSync {
+		t.Fatal("sync lost")
+	}
+}
+
+func TestParseDAGEdges(t *testing.T) {
+	s, err := Parse("dag{potrf; trsm<-potrf; syrk<-trsm; gemm<-trsm,syrk}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := s.Flow.(DAG)
+	if !ok {
+		t.Fatalf("flow = %T", s.Flow)
+	}
+	if len(d.Calls) != 4 {
+		t.Fatalf("calls = %d", len(d.Calls))
+	}
+	g := d.Calls[3]
+	if g.Kernel != "gemm" || len(g.After) != 2 || g.After[0] != 1 || g.After[1] != 2 {
+		t.Fatalf("gemm deps = %+v", g)
+	}
+}
+
+// FuzzParse exercises the structure parser: no input may panic, and
+// accepted inputs must classify.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a", "a;b", "loop{a}", "loop[3]{a;b}", "dag{a; b<-a}",
+		"a; b !sync", "loop{", "dag{a; b<-z}", "  ", "loop[999]{x}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Classify(s); err != nil {
+			t.Fatalf("Parse(%q) accepted an unclassifiable structure: %v", src, err)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package device
+
+import (
+	"fmt"
+
+	"heteropart/internal/sim"
+)
+
+// The catalog reproduces Table III of the paper plus a few extension
+// models used by the multi-accelerator experiments. Peak numbers are the
+// datasheet values the paper lists; launch overheads and link bandwidths
+// are calibrated to typical measurements for the named parts (OpenCL
+// kernel launch on Kepler ≈ 8 µs; PCIe 2.0 ×16 effective ≈ 6 GB/s).
+
+// XeonE5_2620 is the host CPU of the paper's platform: 6 cores (12
+// hardware threads with Hyper-Threading), 2.0 GHz.
+func XeonE5_2620() Model {
+	return Model{
+		Name:           "Intel Xeon E5-2620",
+		Kind:           CPU,
+		FreqGHz:        2.0,
+		Cores:          6,
+		HWThreads:      12,
+		PeakSPGFLOPS:   384.0,
+		PeakDPGFLOPS:   192.0,
+		MemBWGBps:      42.6,
+		MemCapacityGB:  64,
+		WarpSize:       0,
+		LaunchOverhead: 2 * sim.Microsecond,
+	}
+}
+
+// TeslaK20m is the paper's accelerator: 13 SMX, 2496 CUDA cores,
+// 705 MHz.
+func TeslaK20m() Model {
+	return Model{
+		Name:           "Nvidia Tesla K20m",
+		Kind:           GPU,
+		FreqGHz:        0.705,
+		Cores:          13, // SMX count; 2496 CUDA cores
+		PeakSPGFLOPS:   3519.3,
+		PeakDPGFLOPS:   1173.1,
+		MemBWGBps:      208.0,
+		MemCapacityGB:  5,
+		WarpSize:       32,
+		LaunchOverhead: 8 * sim.Microsecond,
+	}
+}
+
+// PCIeGen2x16 is the K20m's host attachment: 8 GB/s theoretical,
+// ~6 GB/s effective with pinned memory.
+func PCIeGen2x16() Link {
+	return Link{
+		HtoDGBps: 6.0,
+		DtoHGBps: 6.0,
+		Latency:  10 * sim.Microsecond,
+		Duplex:   true,
+	}
+}
+
+// XeonPhi5110P is an extension model for the "other accelerators" future
+// work: 60 cores at 1.053 GHz.
+func XeonPhi5110P() Model {
+	return Model{
+		Name:           "Intel Xeon Phi 5110P",
+		Kind:           Accel,
+		FreqGHz:        1.053,
+		Cores:          60,
+		HWThreads:      240,
+		PeakSPGFLOPS:   2022.0,
+		PeakDPGFLOPS:   1011.0,
+		MemBWGBps:      320.0,
+		MemCapacityGB:  8,
+		WarpSize:       16, // vector width granularity
+		LaunchOverhead: 12 * sim.Microsecond,
+	}
+}
+
+// GTX680 is a consumer Kepler part used by platform-sensitivity
+// experiments (strong SP, weak DP).
+func GTX680() Model {
+	return Model{
+		Name:           "Nvidia GTX 680",
+		Kind:           GPU,
+		FreqGHz:        1.006,
+		Cores:          8,
+		PeakSPGFLOPS:   3090.4,
+		PeakDPGFLOPS:   128.8,
+		MemBWGBps:      192.2,
+		MemCapacityGB:  2,
+		WarpSize:       32,
+		LaunchOverhead: 6 * sim.Microsecond,
+	}
+}
+
+// PCIeGen3x16 is a faster host link for extension platforms.
+func PCIeGen3x16() Link {
+	return Link{
+		HtoDGBps: 12.0,
+		DtoHGBps: 12.0,
+		Latency:  8 * sim.Microsecond,
+		Duplex:   true,
+	}
+}
+
+// Attachment pairs an accelerator with its host link.
+type Attachment struct {
+	Model Model
+	Link  Link
+}
+
+// Platform is a host CPU plus zero or more attached accelerators.
+type Platform struct {
+	// Host is device 0, the CPU.
+	Host *Device
+	// Accels are devices 1..n in attachment order.
+	Accels []*Device
+	// Links[i] connects Accels[i] to the host.
+	Links []Link
+}
+
+// NewPlatform builds a platform. cpuThreads is the number of SMP worker
+// threads m the runtime will use on the host (the paper varies m as a
+// multiple of core count and uses the best); it becomes the host
+// device's Share so each worker sees peak/m. cpuThreads <= 0 defaults to
+// the CPU's hardware thread count.
+func NewPlatform(cpu Model, cpuThreads int, accels ...Attachment) *Platform {
+	if cpu.Kind != CPU {
+		panic(fmt.Sprintf("device: host must be a CPU, got %v", cpu.Kind))
+	}
+	if cpuThreads <= 0 {
+		cpuThreads = cpu.Threads()
+	}
+	p := &Platform{
+		Host: &Device{Model: cpu, ID: 0, Share: cpuThreads},
+	}
+	for i, a := range accels {
+		if a.Model.Kind == CPU {
+			panic("device: accelerator cannot be of kind CPU")
+		}
+		p.Accels = append(p.Accels, &Device{Model: a.Model, ID: i + 1, Share: 1})
+		p.Links = append(p.Links, a.Link)
+	}
+	return p
+}
+
+// PaperPlatform reproduces the evaluation platform of Table III with m
+// CPU worker threads (m <= 0 selects the 12 hardware threads).
+func PaperPlatform(cpuThreads int) *Platform {
+	return NewPlatform(XeonE5_2620(), cpuThreads, Attachment{Model: TeslaK20m(), Link: PCIeGen2x16()})
+}
+
+// Devices returns all devices, host first.
+func (p *Platform) Devices() []*Device {
+	out := make([]*Device, 0, 1+len(p.Accels))
+	out = append(out, p.Host)
+	out = append(out, p.Accels...)
+	return out
+}
+
+// Device returns the device with the given platform ID.
+func (p *Platform) Device(id int) *Device {
+	if id == 0 {
+		return p.Host
+	}
+	if id >= 1 && id <= len(p.Accels) {
+		return p.Accels[id-1]
+	}
+	panic(fmt.Sprintf("device: no device %d on platform", id))
+}
+
+// LinkOf returns the host link of the accelerator with the given
+// platform ID.
+func (p *Platform) LinkOf(id int) Link {
+	if id >= 1 && id <= len(p.Links) {
+		return p.Links[id-1]
+	}
+	panic(fmt.Sprintf("device: no link for device %d", id))
+}
+
+// CPUThreads reports the number of host worker threads m.
+func (p *Platform) CPUThreads() int { return p.Host.Share }
+
+// String summarizes the platform for reports.
+func (p *Platform) String() string {
+	s := fmt.Sprintf("%s (m=%d)", p.Host.Name, p.Host.Share)
+	for _, a := range p.Accels {
+		s += " + " + a.Name
+	}
+	return s
+}

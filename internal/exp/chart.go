@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// chartWidth is the maximum bar length in characters.
+const chartWidth = 50
+
+// Chart renders the table as a horizontal bar chart when it has a
+// numeric value column (execution times or percentages) — the textual
+// equivalent of the paper's figures. Tables without a chartable column
+// return the empty string.
+//
+// The label is built from every column left of the first numeric one;
+// multiple numeric columns (e.g. Fig 9's "w/o sync" and "w sync")
+// become grouped bars.
+func (t *Table) Chart() string {
+	numericCols := t.numericColumns()
+	if len(numericCols) == 0 {
+		return ""
+	}
+	labelEnd := numericCols[0]
+
+	type bar struct {
+		label  string
+		series string
+		value  float64
+	}
+	var bars []bar
+	max := 0.0
+	for _, row := range t.Rows {
+		label := strings.TrimSpace(strings.Join(row[:labelEnd], " "))
+		for _, ci := range numericCols {
+			if ci >= len(row) {
+				continue
+			}
+			v, ok := parseNumeric(row[ci])
+			if !ok {
+				continue
+			}
+			series := ""
+			if len(numericCols) > 1 {
+				series = t.Columns[ci]
+			}
+			bars = append(bars, bar{label: label, series: series, value: v})
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if len(bars) == 0 || max <= 0 {
+		return ""
+	}
+
+	labelW := 0
+	for _, b := range bars {
+		l := len(b.label)
+		if b.series != "" {
+			l += len(b.series) + 3
+		}
+		if l > labelW {
+			labelW = l
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	for _, b := range bars {
+		label := b.label
+		if b.series != "" {
+			label += " [" + b.series + "]"
+		}
+		n := int(b.value / max * chartWidth)
+		if n == 0 && b.value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "  %-*s |%s %.1f\n", labelW, label, strings.Repeat("#", n), b.value)
+	}
+	return sb.String()
+}
+
+// numericColumns finds the columns whose cells are all numeric (times
+// or percentages). When the table mixes units — e.g. a "(ms)" column
+// next to a "share" column — only the time columns are charted, so all
+// bars share one scale.
+func (t *Table) numericColumns() []int {
+	var all []int
+	var msOnly []int
+	for ci := range t.Columns {
+		numeric, total := 0, 0
+		for _, row := range t.Rows {
+			if ci >= len(row) || strings.TrimSpace(row[ci]) == "" {
+				continue
+			}
+			total++
+			if _, ok := parseNumeric(row[ci]); ok {
+				numeric++
+			}
+		}
+		if total > 0 && numeric == total {
+			all = append(all, ci)
+			if strings.Contains(t.Columns[ci], "(ms)") {
+				msOnly = append(msOnly, ci)
+			}
+		}
+	}
+	if len(msOnly) > 0 {
+		return msOnly
+	}
+	return all
+}
+
+// parseNumeric accepts plain floats, "12.3x" speedups and "45%"
+// percentages.
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimSuffix(s, "%")
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,216 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section IV) on the simulated platform, plus the
+// Discussion-section studies and the extension experiments. Each
+// experiment produces a text table and a set of shape checks — the
+// qualitative claims the paper makes about that figure — so the
+// reproduction records paper-vs-measured explicitly.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/sim"
+	"heteropart/internal/strategy"
+)
+
+// Table is a rendered result grid.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Checks are the paper's qualitative claims evaluated against the
+	// measured data.
+	Checks []Check
+}
+
+// Check is one paper claim and whether the measurement reproduces it.
+type Check struct {
+	Claim string
+	Pass  bool
+	Note  string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddCheck records a shape check.
+func (t *Table) AddCheck(claim string, pass bool, note string) {
+	t.Checks = append(t.Checks, Check{Claim: claim, Pass: pass, Note: note})
+}
+
+// AllPass reports whether every check passed.
+func (t *Table) AllPass() bool {
+	for _, c := range t.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render produces an aligned plain-text table with the checks below.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, c := range t.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s", mark, c.Claim)
+		if c.Note != "" {
+			fmt.Fprintf(&b, " (%s)", c.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the data rows as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(plat *device.Platform) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table2", "Applications for evaluation (classification)", Table2},
+		{"table3", "The hardware components of the platform", Table3},
+		{"fig5a", "MatrixMul execution time per strategy (SK-One)", Fig5a},
+		{"fig5b", "BlackScholes execution time per strategy (SK-One)", Fig5b},
+		{"fig6", "Partitioning ratios in SK-One", Fig6},
+		{"fig7a", "Nbody execution time per strategy (SK-Loop)", Fig7a},
+		{"fig7b", "HotSpot execution time per strategy (SK-Loop)", Fig7b},
+		{"fig8", "Partitioning ratios in SK-Loop", Fig8},
+		{"fig9", "STREAM-Seq execution time w/ and w/o sync (MK-Seq)", Fig9},
+		{"fig10", "Partitioning ratios in MK-Seq", Fig10},
+		{"fig11", "STREAM-Loop execution time w/ and w/o sync (MK-Loop)", Fig11},
+		{"fig12", "Speedup of the best strategy vs Only-GPU / Only-CPU", Fig12},
+		{"table1", "Ranking validation: empirical vs theoretical", Table1},
+		{"study86", "Kernel-structure study: 86 applications, 5 classes", Study86},
+		{"convert", "Discussion: making dynamic behave like static", Convert},
+		{"tasksize", "Discussion: task-size sensitivity of dynamic partitioning", TaskSize},
+		{"multiaccel", "Extension: multi-accelerator partitioning", MultiAccel},
+		{"imbalance", "Extension: imbalanced-workload partitioning", Imbalance},
+		{"autotune", "Extension: task-size auto-tuning", AutoTune},
+		{"dagrefine", "Extension: MK-DAG refinement (static kernel mapping)", DAGRefine},
+		{"platforms", "Extension: platform sensitivity (GTX 680)", Platforms},
+		{"ablations", "Ablations: design-choice isolation", Ablations},
+		{"convolution", "Extension: naturally sync-requiring MK-Seq", ConvolutionNatural},
+		{"msweep", "Methodology: worker-thread count sweep", MSweep},
+		{"sizesweep", "Methodology: dataset sensitivity of the decision", SizeSweep},
+		{"triangular", "Extension: imbalanced workload end to end", ImbalancedApp},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// ms formats a makespan in milliseconds.
+func ms(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Milliseconds()) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// runOne builds a fresh problem and executes one strategy.
+func runOne(plat *device.Platform, appName string, sync apps.SyncMode, stratName string) (*strategy.Outcome, error) {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := app.Build(apps.Variant{Sync: sync, Spaces: 1 + len(plat.Accels)})
+	if err != nil {
+		return nil, err
+	}
+	s, err := strategy.ByName(stratName)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(p, plat, strategy.Options{})
+}
+
+// timesFor measures every strategy in order for one app variant.
+func timesFor(plat *device.Platform, appName string, sync apps.SyncMode, strats []string) (map[string]*strategy.Outcome, error) {
+	out := make(map[string]*strategy.Outcome, len(strats))
+	for _, s := range strats {
+		o, err := runOne(plat, appName, sync, s)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", appName, s, err)
+		}
+		out[s] = o
+	}
+	return out, nil
+}
+
+// fastest returns the strategy with the smallest makespan.
+func fastest(res map[string]*strategy.Outcome) string {
+	names := make([]string, 0, len(res))
+	for n := range res {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best, bestT := "", sim.MaxTime
+	for _, n := range names {
+		if t := res[n].Result.Makespan; t < bestT {
+			best, bestT = n, t
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"heteropart/internal/device"
+)
+
+func TestAllExperimentsPassShapeChecks(t *testing.T) {
+	plat := device.PaperPlatform(12)
+	for _, e := range All() {
+		tab, err := e.Run(plat)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", e.ID)
+		}
+		for _, c := range tab.Checks {
+			if !c.Pass {
+				t.Errorf("%s: paper claim not reproduced: %s (%s)\n%s",
+					e.ID, c.Claim, c.Note, tab.Render())
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "longcolumn"}}
+	tab.AddRow("1", "2")
+	tab.AddCheck("works", true, "note")
+	tab.AddCheck("broken", false, "")
+	r := tab.Render()
+	for _, want := range []string{"x — demo", "longcolumn", "[PASS] works (note)", "[FAIL] broken"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("render missing %q:\n%s", want, r)
+		}
+	}
+	if tab.AllPass() {
+		t.Fatal("AllPass with a failing check")
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,longcolumn\n1,2\n") {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig12")
+	if err != nil || e.ID != "fig12" {
+		t.Fatalf("ByID = %v, %v", e, err)
+	}
+	if _, err := ByID("nosuch"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestChartRendersBars(t *testing.T) {
+	tab := &Table{ID: "figX", Title: "demo", Columns: []string{"strategy", "time (ms)"}}
+	tab.AddRow("A", "100.0")
+	tab.AddRow("B", "50.0")
+	c := tab.Chart()
+	if !strings.Contains(c, "A") || !strings.Contains(c, "#") {
+		t.Fatalf("chart = %q", c)
+	}
+	// A's bar must be about twice B's.
+	lines := strings.Split(strings.TrimSpace(c), "\n")
+	countHash := func(s string) int { return strings.Count(s, "#") }
+	var aBar, bBar int
+	for _, l := range lines {
+		if strings.Contains(l, "A ") || strings.HasSuffix(l, "100.0") {
+			if strings.Contains(l, "100.0") {
+				aBar = countHash(l)
+			}
+		}
+		if strings.Contains(l, "50.0") {
+			bBar = countHash(l)
+		}
+	}
+	if aBar < 2*bBar-2 || aBar > 2*bBar+2 {
+		t.Fatalf("bars not proportional: %d vs %d\n%s", aBar, bBar, c)
+	}
+}
+
+func TestChartGroupsMultipleNumericColumns(t *testing.T) {
+	tab := &Table{ID: "fig9", Title: "demo", Columns: []string{"strategy", "w/o sync (ms)", "w sync (ms)"}}
+	tab.AddRow("SP-Unified", "91.4", "215.7")
+	c := tab.Chart()
+	if !strings.Contains(c, "[w/o sync (ms)]") || !strings.Contains(c, "[w sync (ms)]") {
+		t.Fatalf("grouped series missing:\n%s", c)
+	}
+}
+
+func TestChartNonNumericTableEmpty(t *testing.T) {
+	tab := &Table{ID: "t", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("x", "y")
+	if tab.Chart() != "" {
+		t.Fatal("non-numeric table charted")
+	}
+}
+
+func TestChartPercentColumns(t *testing.T) {
+	tab := &Table{ID: "fig6", Title: "ratios", Columns: []string{"app", "strategy", "CPU", "GPU"}}
+	tab.AddRow("MatrixMul", "SP-Single", "10%", "90%")
+	c := tab.Chart()
+	if !strings.Contains(c, "MatrixMul SP-Single") {
+		t.Fatalf("label missing:\n%s", c)
+	}
+}
+
+func TestRealFigureCharts(t *testing.T) {
+	plat := device.PaperPlatform(12)
+	tab, err := Fig5a(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Chart()
+	for _, want := range []string{"Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep"} {
+		if !strings.Contains(c, want) {
+			t.Fatalf("fig5a chart missing %s:\n%s", want, c)
+		}
+	}
+}
+
+// TestReportDeterministic: the whole regenerated report must be
+// byte-identical across runs (the simulator is deterministic and no
+// experiment may depend on map iteration order).
+func TestReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	plat := device.PaperPlatform(12)
+	a, err := MarkdownReport(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarkdownReport(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("report differs between runs")
+	}
+}

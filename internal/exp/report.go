@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"heteropart/internal/device"
+)
+
+// summaryRows maps paper artifacts to their reproduction status for
+// the EXPERIMENTS.md summary. Status text is static (the claims are
+// enforced by each experiment's checks; a failing check fails the
+// report).
+var summaryRows = [][2]string{
+	{"Table I", "empirical strategy ranking matches the theoretical ranking for all 8 app variants"},
+	{"Table II", "the classifier assigns every evaluation app its class"},
+	{"Table III", "platform datasheet values (by construction)"},
+	{"Fig 5a", "MatrixMul: OG ≫ OC; SP-Single best at ~90/10; DP-Perf ≈ all-GPU; DP-Dep leaves 1 instance on the GPU"},
+	{"Fig 5b", "BlackScholes: SP-Single best at 41%/59% CPU/GPU; DP-Perf overassigns the GPU"},
+	{"Fig 6", "SK-One partitioning ratios"},
+	{"Fig 7a", "Nbody: SP-Single best, GPU-leaning (~80%)"},
+	{"Fig 7b", "HotSpot: Only-GPU loses to Only-CPU (transfers); SP-Single best, CPU-leaning"},
+	{"Fig 8", "SK-Loop partitioning ratios"},
+	{"Fig 9", "STREAM-Seq: SP-Unified best w/o sync (~44-49% GPU); SP-Varied best w/ sync; sync degrades dynamic partitioning"},
+	{"Fig 10", "MK-Seq ratios incl. per-kernel SP-Varied points"},
+	{"Fig 11", "STREAM-Loop: Only-GPU beats Only-CPU; SP-Unified best w/o sync; SP-Varied best w/ sync; SP-Unified-w worst"},
+	{"Fig 12", "best strategy never loses to a single device; meaningful average speedups"},
+	{"§III-B study", "5 classes cover 86 apps across 5 suites (reconstructed catalog)"},
+	{"§V conversion", "dynamic-behaves-static lands close to SP-*"},
+	{"§V granularity", "task-size variation moves dynamic performance; auto-tuner picks the minimum"},
+	{"§VII / extensions", "multi-accelerator water-filling, imbalanced workloads end to end (Triangular), MK-DAG refinement, implements clause, platform & dataset sensitivity, ablations"},
+}
+
+// MarkdownReport runs every experiment and renders the complete
+// EXPERIMENTS.md document: preamble, summary table, then the raw
+// regenerated tables with their paper-claim checks.
+func MarkdownReport(plat *device.Platform) (string, error) {
+	var b strings.Builder
+	b.WriteString(`# EXPERIMENTS — paper vs measured
+
+This file records, for every table and figure of the paper's evaluation
+(Section IV), what the paper reports and what this reproduction
+measures. Regenerate it at any time with:
+
+    go run ./cmd/experiments -report > EXPERIMENTS.md
+
+All timings are **virtual milliseconds** from the discrete-event
+simulator (see DESIGN.md §2 — the platform is a calibrated model of the
+paper's Xeon E5-2620 + Tesla K20m, not the physical testbed). Absolute
+numbers are therefore not comparable to the paper's; the *shapes* —
+which strategy wins, which device dominates, where the orderings flip —
+are, and each experiment below carries explicit PASS/FAIL checks for
+the paper's qualitative claims. Known deviations are discussed in
+DESIGN.md §4.
+
+## Summary
+
+| Paper artifact | Claim | Status |
+|---|---|---|
+`)
+	results := make(map[string]*Table)
+	allPass := true
+	for _, e := range All() {
+		tab, err := e.Run(plat)
+		if err != nil {
+			return "", fmt.Errorf("exp: %s: %w", e.ID, err)
+		}
+		results[e.ID] = tab
+		if !tab.AllPass() {
+			allPass = false
+		}
+	}
+	status := "reproduced"
+	if !allPass {
+		status = "SEE FAILURES BELOW"
+	}
+	for _, row := range summaryRows {
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", row[0], row[1], status)
+	}
+	fmt.Fprintf(&b, "\nPlatform: %s\n\n", plat)
+
+	for _, e := range All() {
+		tab := results[e.ID]
+		fmt.Fprintf(&b, "## %s — %s\n\n", tab.ID, tab.Title)
+		fmt.Fprintf(&b, "```\n%s```\n\n", tab.Render())
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,124 @@
+package glinda
+
+import (
+	"fmt"
+	"math"
+
+	"heteropart/internal/device"
+	"heteropart/internal/mem"
+	"heteropart/internal/task"
+)
+
+// Fuse combines per-kernel estimates into a single fused-kernel
+// estimate, the foundation of the SP-Unified strategy: all kernels are
+// regarded as one, sharing a single partitioning point, with data
+// transferred to the device once before the first kernel and back once
+// after the last (Section III-C).
+//
+// Throughputs compose harmonically (the fused kernel processes an
+// element by running every kernel on it); transfer bytes are computed
+// from the kernels' access lists, counting only *cold* reads — data not
+// produced by an earlier kernel in the sequence.
+func Fuse(kernels []*task.Kernel, ests []Estimate) (Estimate, error) {
+	if len(kernels) == 0 || len(kernels) != len(ests) {
+		return Estimate{}, fmt.Errorf("glinda: fuse needs matching kernels (%d) and estimates (%d)",
+			len(kernels), len(ests))
+	}
+	n := kernels[0].Size
+	for _, k := range kernels[1:] {
+		if k.Size != n {
+			return Estimate{}, fmt.Errorf("glinda: fused kernels must share an iteration space: %q has %d, want %d",
+				k.Name, k.Size, n)
+		}
+	}
+	out := Estimate{N: n, B: math.Inf(1)}
+	var invRc, invRg float64
+	for _, e := range ests {
+		if e.Rc <= 0 || e.Rg <= 0 {
+			return Estimate{}, fmt.Errorf("glinda: fuse needs positive rates, got Rc=%g Rg=%g", e.Rc, e.Rg)
+		}
+		invRc += 1 / e.Rc
+		invRg += 1 / e.Rg
+		if !math.IsInf(e.B, 1) && e.B > 0 {
+			if math.IsInf(out.B, 1) || e.B > out.B {
+				out.B = e.B
+			}
+		}
+	}
+	out.Rc = 1 / invRc
+	out.Rg = 1 / invRg
+
+	// Transfer fits through two partition sizes: cold reads in, the
+	// written union back out at the closing taskwait.
+	out.InSlope, out.InConst = fitBytes(n, ColdReadBytes(kernels, n), ColdReadBytes(kernels, n/2))
+	out.OutSlope, out.OutConst = fitBytes(n, WriteBackBytes(kernels, n), WriteBackBytes(kernels, n/2))
+	return out, nil
+}
+
+// ColdReadBytes totals the bytes a device partition [0, s) must receive
+// from the host when executing the kernel sequence without intermediate
+// synchronization: reads of data already written (or already fetched)
+// by an earlier kernel on the same device are free.
+func ColdReadBytes(kernels []*task.Kernel, s int64) int64 {
+	resident := make(map[int]mem.Set) // buffer ID -> intervals on device
+	var total int64
+	for _, k := range kernels {
+		for _, a := range k.AccessesOf(0, s) {
+			set := resident[a.Buf.ID]
+			if a.Mode.Reads() {
+				for _, miss := range set.Missing(a.Interval) {
+					total += a.Buf.Bytes(miss)
+					set.Add(miss)
+				}
+			}
+			if a.Mode.Writes() {
+				set.Add(a.Interval)
+			}
+			resident[a.Buf.ID] = set
+		}
+	}
+	return total
+}
+
+// WriteBackBytes totals the bytes a device partition [0, s) must send
+// back to the host after the kernel sequence: the union of all regions
+// written by any kernel. SP-Unified pays this once at the end.
+func WriteBackBytes(kernels []*task.Kernel, s int64) int64 {
+	written := make(map[int]mem.Set)
+	order := make([]*mem.Buffer, 0)
+	seen := make(map[int]bool)
+	for _, k := range kernels {
+		for _, a := range k.AccessesOf(0, s) {
+			if !a.Mode.Writes() {
+				continue
+			}
+			set := written[a.Buf.ID]
+			set.Add(a.Interval)
+			written[a.Buf.ID] = set
+			if !seen[a.Buf.ID] {
+				seen[a.Buf.ID] = true
+				order = append(order, a.Buf)
+			}
+		}
+	}
+	var total int64
+	for _, b := range order {
+		s := written[b.ID]
+		total += s.Len() * b.ElemSize
+	}
+	return total
+}
+
+// ProfileFused profiles every kernel and fuses the estimates — the
+// SP-Unified front end.
+func ProfileFused(plat *device.Platform, dir *mem.Directory, kernels []*task.Kernel, accelID int, cfg Config) (Estimate, error) {
+	ests := make([]Estimate, len(kernels))
+	for i, k := range kernels {
+		e, err := Profile(plat, dir, k, accelID, cfg)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("glinda: profiling %q: %w", k.Name, err)
+		}
+		ests[i] = e
+	}
+	return Fuse(kernels, ests)
+}

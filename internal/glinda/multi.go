@@ -1,0 +1,87 @@
+package glinda
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveMulti extends the partitioning model to platforms with several
+// accelerators (the paper's future-work direction and Glinda's
+// "one or more accelerators, identical or non-identical" claim). It
+// finds the water-filling allocation that equalizes completion times:
+// every device finishes at the same moment t, with
+//
+//	n_cpu(t)  = t · Rc
+//	n_acc_i(t) = max(0, (t - c0_i/B_i) / (1/Rg_i + slope_i/B_i))
+//
+// and Σ n = total. The per-device counts are found by bisection on t
+// (allocation is nondecreasing in t). Returned counts are ordered
+// [cpu, accel1, accel2, ...] and sum exactly to n (the CPU absorbs
+// rounding).
+func SolveMulti(rc float64, accels []Estimate, n int64) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("glinda: negative problem size %d", n)
+	}
+	if rc <= 0 && len(accels) == 0 {
+		return nil, fmt.Errorf("glinda: no capable devices")
+	}
+	for i, e := range accels {
+		if e.Rg <= 0 {
+			return nil, fmt.Errorf("glinda: accelerator %d has nonpositive rate", i+1)
+		}
+	}
+	alloc := func(t float64) float64 {
+		total := rc * t
+		for _, e := range accels {
+			cost := 1 / e.Rg
+			offset := 0.0
+			if !math.IsInf(e.B, 1) && e.B > 0 {
+				cost += (e.InSlope + e.OutSlope) / e.B
+				offset = (e.InConst + e.OutConst) / e.B
+			}
+			if t > offset {
+				total += (t - offset) / cost
+			}
+		}
+		return total
+	}
+	// Bracket t.
+	lo, hi := 0.0, 1.0
+	for alloc(hi) < float64(n) {
+		hi *= 2
+		if hi > 1e18 {
+			return nil, fmt.Errorf("glinda: cannot bracket completion time for n=%d", n)
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if alloc(mid) < float64(n) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := hi
+	out := make([]int64, 1+len(accels))
+	var assigned int64
+	for i, e := range accels {
+		cost := 1 / e.Rg
+		offset := 0.0
+		if !math.IsInf(e.B, 1) && e.B > 0 {
+			cost += (e.InSlope + e.OutSlope) / e.B
+			offset = (e.InConst + e.OutConst) / e.B
+		}
+		share := 0.0
+		if t > offset {
+			share = (t - offset) / cost
+		}
+		ni := int64(share + 0.5)
+		if assigned+ni > n {
+			ni = n - assigned
+		}
+		out[1+i] = ni
+		assigned += ni
+	}
+	out[0] = n - assigned
+	return out, nil
+}

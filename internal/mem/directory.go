@@ -1,0 +1,273 @@
+package mem
+
+import "fmt"
+
+// Space identifies a memory space: HostSpace (0) is the CPU's memory,
+// space i >= 1 is the private memory of accelerator i. Space numbering
+// matches platform device IDs.
+type Space int
+
+// HostSpace is the CPU memory, where all buffers start and where
+// taskwait flushes converge.
+const HostSpace Space = 0
+
+// Buffer describes a named array registered with the directory.
+type Buffer struct {
+	ID       int
+	Name     string
+	Elems    int64
+	ElemSize int64 // bytes per element
+}
+
+// Bytes returns the byte size of an element interval of this buffer.
+func (b *Buffer) Bytes(iv Interval) int64 { return iv.Len() * b.ElemSize }
+
+// Whole returns the buffer's full extent.
+func (b *Buffer) Whole() Interval { return Interval{Lo: 0, Hi: b.Elems} }
+
+// Transfer is a data movement the directory asks the platform to
+// perform.
+type Transfer struct {
+	Buf      *Buffer
+	Interval Interval
+	From, To Space
+}
+
+// Bytes is the payload size of the transfer.
+func (t Transfer) Bytes() int64 { return t.Buf.Bytes(t.Interval) }
+
+// String renders the transfer for traces.
+func (t Transfer) String() string {
+	return fmt.Sprintf("%s%v %d->%d (%dB)", t.Buf.Name, t.Interval, t.From, t.To, t.Bytes())
+}
+
+// Directory tracks, for every buffer, which element intervals are valid
+// in which spaces. It is purely bookkeeping: callers obtain the
+// transfers required for an access, model their cost, then commit the
+// resulting state changes.
+type Directory struct {
+	spaces  int
+	buffers map[int]*bufState
+	nextID  int
+}
+
+type bufState struct {
+	buf   *Buffer
+	valid []Set // indexed by Space
+}
+
+// NewDirectory creates a directory for a platform with the given number
+// of spaces (1 host + number of accelerators).
+func NewDirectory(spaces int) *Directory {
+	if spaces < 1 {
+		panic("mem: need at least the host space")
+	}
+	return &Directory{spaces: spaces, buffers: make(map[int]*bufState)}
+}
+
+// Spaces reports the number of memory spaces.
+func (d *Directory) Spaces() int { return d.spaces }
+
+// Register adds a buffer. Its full extent starts valid in the host
+// space only.
+func (d *Directory) Register(name string, elems, elemSize int64) *Buffer {
+	if elems < 0 || elemSize <= 0 {
+		panic(fmt.Sprintf("mem: bad buffer %q: elems=%d elemSize=%d", name, elems, elemSize))
+	}
+	b := &Buffer{ID: d.nextID, Name: name, Elems: elems, ElemSize: elemSize}
+	d.nextID++
+	st := &bufState{buf: b, valid: make([]Set, d.spaces)}
+	st.valid[HostSpace].Add(b.Whole())
+	d.buffers[b.ID] = st
+	return b
+}
+
+func (d *Directory) state(b *Buffer) *bufState {
+	st, ok := d.buffers[b.ID]
+	if !ok {
+		panic(fmt.Sprintf("mem: buffer %q not registered", b.Name))
+	}
+	return st
+}
+
+// ValidIn returns the set of elements of b valid in space s (a copy).
+func (d *Directory) ValidIn(b *Buffer, s Space) Set {
+	return d.state(b).valid[s].Clone()
+}
+
+// MissingIn returns the sub-intervals of iv not valid in space s.
+func (d *Directory) MissingIn(b *Buffer, s Space, iv Interval) []Interval {
+	return d.state(b).valid[s].Missing(iv)
+}
+
+// SourceOf picks a space that holds iv of b valid, preferring the host.
+// The interval may be split across sources; SourceOf returns the source
+// covering the *start* of iv together with the prefix length covered, so
+// callers loop until the whole interval is sourced.
+func (d *Directory) SourceOf(b *Buffer, iv Interval) (Space, Interval) {
+	st := d.state(b)
+	// Prefer the host: taskwait keeps it whole, and host-sourced
+	// transfers match OmpSs behaviour.
+	for _, s := range d.searchOrder() {
+		v := &st.valid[s]
+		if !v.ContainsPoint(iv.Lo) {
+			continue
+		}
+		have := v.IntersectInterval(iv)
+		for _, h := range have.Intervals() {
+			if h.Lo == iv.Lo {
+				return s, h
+			}
+		}
+	}
+	panic(fmt.Sprintf("mem: %s%v valid nowhere (lost update?)", b.Name, iv))
+}
+
+func (d *Directory) searchOrder() []Space {
+	order := make([]Space, d.spaces)
+	for i := range order {
+		order[i] = Space(i)
+	}
+	return order
+}
+
+// TransfersForRead computes the transfers needed before space s can read
+// iv of b. It does not mutate state; apply each transfer with Commit.
+func (d *Directory) TransfersForRead(b *Buffer, s Space, iv Interval) []Transfer {
+	var out []Transfer
+	for _, missing := range d.MissingIn(b, s, iv) {
+		cur := missing
+		for !cur.Empty() {
+			src, prefix := d.SourceOf(b, cur)
+			out = append(out, Transfer{Buf: b, Interval: prefix, From: src, To: s})
+			cur.Lo = prefix.Hi
+		}
+	}
+	return out
+}
+
+// Commit records a completed transfer: the destination space now also
+// holds the interval valid.
+func (d *Directory) Commit(t Transfer) {
+	d.state(t.Buf).valid[t.To].Add(t.Interval)
+}
+
+// MarkWritten records that space s wrote iv of b: s becomes the only
+// valid holder of those elements.
+func (d *Directory) MarkWritten(b *Buffer, s Space, iv Interval) {
+	st := d.state(b)
+	for i := range st.valid {
+		if Space(i) == s {
+			st.valid[i].Add(iv)
+		} else {
+			st.valid[i].Remove(iv)
+		}
+	}
+}
+
+// FlushTransfers returns the transfers required to make the host's copy
+// of b whole (the taskwait flush). Elements already valid on the host
+// move nothing.
+func (d *Directory) FlushTransfers(b *Buffer) []Transfer {
+	return d.TransfersForRead(b, HostSpace, b.Whole())
+}
+
+// FlushAllTransfers returns flush transfers for every registered buffer,
+// in registration order (deterministic).
+func (d *Directory) FlushAllTransfers() []Transfer {
+	var out []Transfer
+	for id := 0; id < d.nextID; id++ {
+		st, ok := d.buffers[id]
+		if !ok {
+			continue
+		}
+		out = append(out, d.FlushTransfers(st.buf)...)
+	}
+	return out
+}
+
+// DropDeviceCopies clears validity in every non-host space. The OmpSs
+// taskwait not only flushes dirty data to the host but releases the
+// device-side allocations, so data used again after a taskwait must be
+// re-transferred — the mechanism behind the paper's "multiple data
+// transfers" cost of synchronization. Panics if the host is not whole
+// (callers flush first).
+func (d *Directory) DropDeviceCopies() {
+	if !d.HostWhole() {
+		panic("mem: DropDeviceCopies before the host is whole")
+	}
+	for _, st := range d.buffers {
+		for i := 1; i < len(st.valid); i++ {
+			st.valid[i].Clear()
+		}
+	}
+}
+
+// Reset restores the pristine state: every buffer valid in full on the
+// host only. Glinda's profiler uses it to leave no footprint after its
+// probe runs (probes run on the real problem's buffers).
+func (d *Directory) Reset() {
+	for _, st := range d.buffers {
+		for i := range st.valid {
+			st.valid[i].Clear()
+		}
+		st.valid[HostSpace].Add(st.buf.Whole())
+	}
+}
+
+// InvalidateSpace drops all validity in space s (e.g. device reset in
+// failure-injection tests). Panics if that would lose the only copy of
+// any element.
+func (d *Directory) InvalidateSpace(s Space) {
+	if s == HostSpace {
+		panic("mem: cannot invalidate the host space")
+	}
+	for id := 0; id < d.nextID; id++ {
+		st, ok := d.buffers[id]
+		if !ok {
+			continue
+		}
+		only := st.valid[s].Clone()
+		for i := range st.valid {
+			if Space(i) == s {
+				continue
+			}
+			only = only.Subtract(st.valid[i])
+		}
+		if !only.Empty() {
+			panic(fmt.Sprintf("mem: invalidating space %d loses %s%v", s, st.buf.Name, only.Intervals()[0]))
+		}
+		st.valid[s].Clear()
+	}
+}
+
+// HostWhole reports whether the host holds every registered buffer in
+// full (the post-taskwait invariant).
+func (d *Directory) HostWhole() bool {
+	for _, st := range d.buffers {
+		if !st.valid[HostSpace].Contains(st.buf.Whole()) {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverageInvariant checks that every element of every buffer is valid
+// in at least one space (no lost updates). It returns an error naming
+// the first violation.
+func (d *Directory) CoverageInvariant() error {
+	for id := 0; id < d.nextID; id++ {
+		st, ok := d.buffers[id]
+		if !ok {
+			continue
+		}
+		var covered Set
+		for i := range st.valid {
+			covered = covered.Union(st.valid[i])
+		}
+		if miss := covered.Missing(st.buf.Whole()); len(miss) > 0 {
+			return fmt.Errorf("mem: %s%v valid in no space", st.buf.Name, miss[0])
+		}
+	}
+	return nil
+}

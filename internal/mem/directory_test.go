@@ -1,0 +1,232 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newDir(t *testing.T) (*Directory, *Buffer) {
+	t.Helper()
+	d := NewDirectory(2) // host + one GPU
+	b := d.Register("a", 1000, 8)
+	return d, b
+}
+
+func TestRegisterStartsHostValid(t *testing.T) {
+	d, b := newDir(t)
+	if !d.ValidIn(b, HostSpace).Contains(b.Whole()) {
+		t.Fatal("buffer not fully valid on host at start")
+	}
+	if !d.ValidIn(b, 1).Empty() {
+		t.Fatal("buffer valid on GPU at start")
+	}
+	if b.Bytes(iv(0, 10)) != 80 {
+		t.Fatalf("Bytes = %d, want 80", b.Bytes(iv(0, 10)))
+	}
+}
+
+func TestRegisterRejectsBadShape(t *testing.T) {
+	d := NewDirectory(1)
+	for _, c := range []struct{ elems, size int64 }{{-1, 8}, {10, 0}, {10, -4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%d,%d) did not panic", c.elems, c.size)
+				}
+			}()
+			d.Register("bad", c.elems, c.size)
+		}()
+	}
+}
+
+func TestNewDirectoryNeedsHost(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDirectory(0) did not panic")
+		}
+	}()
+	NewDirectory(0)
+}
+
+func TestTransfersForReadColdGPU(t *testing.T) {
+	d, b := newDir(t)
+	ts := d.TransfersForRead(b, 1, iv(100, 200))
+	if len(ts) != 1 {
+		t.Fatalf("transfers = %v", ts)
+	}
+	tr := ts[0]
+	if tr.From != HostSpace || tr.To != 1 || tr.Interval != iv(100, 200) {
+		t.Fatalf("transfer = %v", tr)
+	}
+	if tr.Bytes() != 100*8 {
+		t.Fatalf("bytes = %d", tr.Bytes())
+	}
+	// Uncommitted: still missing.
+	if len(d.MissingIn(b, 1, iv(100, 200))) != 1 {
+		t.Fatal("TransfersForRead mutated state")
+	}
+	d.Commit(tr)
+	if len(d.TransfersForRead(b, 1, iv(100, 200))) != 0 {
+		t.Fatal("committed data still transfers")
+	}
+	// Both spaces now hold the copy.
+	if !d.ValidIn(b, HostSpace).Contains(iv(100, 200)) {
+		t.Fatal("commit stole host validity")
+	}
+}
+
+func TestTransfersForReadPartial(t *testing.T) {
+	d, b := newDir(t)
+	d.Commit(Transfer{Buf: b, Interval: iv(0, 50), From: HostSpace, To: 1})
+	ts := d.TransfersForRead(b, 1, iv(0, 100))
+	if len(ts) != 1 || ts[0].Interval != iv(50, 100) {
+		t.Fatalf("partial read transfers = %v", ts)
+	}
+}
+
+func TestMarkWrittenInvalidatesOthers(t *testing.T) {
+	d, b := newDir(t)
+	d.MarkWritten(b, 1, iv(200, 300))
+	if d.ValidIn(b, HostSpace).Contains(iv(200, 300)) {
+		t.Fatal("host still valid after device write")
+	}
+	if !d.ValidIn(b, 1).Contains(iv(200, 300)) {
+		t.Fatal("writer not valid after write")
+	}
+	// Host read now needs a transfer back.
+	ts := d.TransfersForRead(b, HostSpace, iv(200, 300))
+	if len(ts) != 1 || ts[0].From != 1 {
+		t.Fatalf("read-back transfers = %v", ts)
+	}
+}
+
+func TestFlushTransfersRestoreHost(t *testing.T) {
+	d, b := newDir(t)
+	d.MarkWritten(b, 1, iv(0, 500))
+	if d.HostWhole() {
+		t.Fatal("host whole despite device write")
+	}
+	ts := d.FlushTransfers(b)
+	if len(ts) != 1 || ts[0].Interval != iv(0, 500) || ts[0].From != 1 || ts[0].To != HostSpace {
+		t.Fatalf("flush = %v", ts)
+	}
+	for _, tr := range ts {
+		d.Commit(tr)
+	}
+	if !d.HostWhole() {
+		t.Fatal("host not whole after flush")
+	}
+}
+
+func TestFlushAllDeterministicOrder(t *testing.T) {
+	d := NewDirectory(2)
+	b1 := d.Register("x", 100, 4)
+	b2 := d.Register("y", 100, 4)
+	d.MarkWritten(b2, 1, iv(0, 10))
+	d.MarkWritten(b1, 1, iv(0, 10))
+	ts := d.FlushAllTransfers()
+	if len(ts) != 2 || ts[0].Buf != b1 || ts[1].Buf != b2 {
+		t.Fatalf("flush order = %v", ts)
+	}
+}
+
+func TestSourceOfPrefersHost(t *testing.T) {
+	d, b := newDir(t)
+	d.Commit(Transfer{Buf: b, Interval: iv(0, 100), From: HostSpace, To: 1})
+	src, prefix := d.SourceOf(b, iv(0, 100))
+	if src != HostSpace || prefix != iv(0, 100) {
+		t.Fatalf("source = %d %v, want host full", src, prefix)
+	}
+}
+
+func TestSourceOfPanicsWhenLost(t *testing.T) {
+	d, b := newDir(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range source did not panic")
+		}
+	}()
+	d.SourceOf(b, iv(1000, 1100)) // beyond buffer: valid nowhere
+}
+
+func TestUnregisteredBufferPanics(t *testing.T) {
+	d := NewDirectory(2)
+	other := NewDirectory(2)
+	b := other.Register("foreign", 10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign buffer did not panic")
+		}
+	}()
+	d.ValidIn(b, HostSpace)
+}
+
+func TestInvalidateSpaceSafe(t *testing.T) {
+	d, b := newDir(t)
+	d.Commit(Transfer{Buf: b, Interval: iv(0, 100), From: HostSpace, To: 1})
+	d.InvalidateSpace(1) // host still has everything: fine
+	if !d.ValidIn(b, 1).Empty() {
+		t.Fatal("space 1 still valid")
+	}
+	if err := d.CoverageInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidateSpaceLosingDataPanics(t *testing.T) {
+	d, b := newDir(t)
+	d.MarkWritten(b, 1, iv(0, 10))
+	defer func() {
+		if recover() == nil {
+			t.Error("lossy invalidate did not panic")
+		}
+	}()
+	d.InvalidateSpace(1)
+}
+
+func TestInvalidateHostPanics(t *testing.T) {
+	d, _ := newDir(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("host invalidate did not panic")
+		}
+	}()
+	d.InvalidateSpace(HostSpace)
+}
+
+// Property: under random read/write/flush traffic across 3 spaces, the
+// coverage invariant holds and every read can always be satisfied.
+func TestQuickDirectoryCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		d := NewDirectory(3)
+		b := d.Register("buf", 256, 8)
+		for step := 0; step < 40; step++ {
+			lo := rng.Int63n(256)
+			hi := lo + rng.Int63n(256-lo) + 1
+			q := iv(lo, hi)
+			s := Space(rng.Intn(3))
+			switch rng.Intn(3) {
+			case 0: // read
+				for _, tr := range d.TransfersForRead(b, s, q) {
+					d.Commit(tr)
+				}
+				if len(d.MissingIn(b, s, q)) != 0 {
+					t.Fatal("read did not materialize data")
+				}
+			case 1: // write (model: read-modify-write locality)
+				d.MarkWritten(b, s, q)
+			case 2: // taskwait flush
+				for _, tr := range d.FlushAllTransfers() {
+					d.Commit(tr)
+				}
+				if !d.HostWhole() {
+					t.Fatal("flush left host incomplete")
+				}
+			}
+			if err := d.CoverageInvariant(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package mem tracks where data lives on a heterogeneous platform.
+//
+// Buffers are arrays of fixed-size elements. Each memory space (host,
+// one per accelerator) holds a set of element intervals that are valid
+// there. The directory implements a simplified MSI-style protocol over
+// intervals: reads require validity in the executing space (triggering
+// transfers from a space that has the data), writes invalidate all other
+// spaces, and a flush makes the host whole again (the paper's taskwait
+// semantics).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a half-open element range [Lo, Hi).
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Empty reports whether the interval covers no elements.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Len returns the number of elements covered.
+func (iv Interval) Len() int64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Overlaps reports whether two intervals share any element.
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Empty() && !o.Empty() && iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+// Intersect returns the common sub-interval (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	r := Interval{Lo: max64(iv.Lo, o.Lo), Hi: min64(iv.Hi, o.Hi)}
+	if r.Empty() {
+		return Interval{}
+	}
+	return r
+}
+
+// String renders the interval as [lo,hi).
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Set is a canonical set of elements: sorted, pairwise-disjoint,
+// non-adjacent intervals. The zero value is the empty set.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a set from arbitrary intervals.
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+	return s
+}
+
+// Intervals returns the canonical interval list (callers must not
+// mutate it).
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Len returns the total number of elements in the set.
+func (s Set) Len() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	c := Set{ivs: make([]Interval, len(s.ivs))}
+	copy(c.ivs, s.ivs)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() { s.ivs = s.ivs[:0] }
+
+// Add unions iv into the set, merging overlapping and adjacent
+// intervals.
+func (s *Set) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Find insertion window: all intervals that overlap or are adjacent.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= iv.Lo })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Lo <= iv.Hi {
+		j++
+	}
+	if i < j {
+		iv.Lo = min64(iv.Lo, s.ivs[i].Lo)
+		iv.Hi = max64(iv.Hi, s.ivs[j-1].Hi)
+	}
+	out := make([]Interval, 0, len(s.ivs)-(j-i)+1)
+	out = append(out, s.ivs[:i]...)
+	out = append(out, iv)
+	out = append(out, s.ivs[j:]...)
+	s.ivs = out
+}
+
+// Remove subtracts iv from the set.
+func (s *Set) Remove(iv Interval) {
+	if iv.Empty() || len(s.ivs) == 0 {
+		return
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	for _, cur := range s.ivs {
+		if !cur.Overlaps(iv) {
+			out = append(out, cur)
+			continue
+		}
+		if cur.Lo < iv.Lo {
+			out = append(out, Interval{Lo: cur.Lo, Hi: iv.Lo})
+		}
+		if cur.Hi > iv.Hi {
+			out = append(out, Interval{Lo: iv.Hi, Hi: cur.Hi})
+		}
+	}
+	s.ivs = out
+}
+
+// Contains reports whether every element of iv is in the set.
+func (s Set) Contains(iv Interval) bool {
+	if iv.Empty() {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi > iv.Lo })
+	return i < len(s.ivs) && s.ivs[i].Lo <= iv.Lo && s.ivs[i].Hi >= iv.Hi
+}
+
+// ContainsPoint reports whether element p is in the set.
+func (s Set) ContainsPoint(p int64) bool {
+	return s.Contains(Interval{Lo: p, Hi: p + 1})
+}
+
+// IntersectInterval returns the elements of iv present in the set.
+func (s Set) IntersectInterval(iv Interval) Set {
+	var out Set
+	if iv.Empty() {
+		return out
+	}
+	for _, cur := range s.ivs {
+		if cur.Lo >= iv.Hi {
+			break
+		}
+		x := cur.Intersect(iv)
+		if !x.Empty() {
+			out.ivs = append(out.ivs, x)
+		}
+	}
+	return out
+}
+
+// Missing returns the sub-intervals of iv NOT present in the set, in
+// order.
+func (s Set) Missing(iv Interval) []Interval {
+	var out []Interval
+	if iv.Empty() {
+		return out
+	}
+	lo := iv.Lo
+	for _, cur := range s.ivs {
+		if cur.Hi <= lo {
+			continue
+		}
+		if cur.Lo >= iv.Hi {
+			break
+		}
+		if cur.Lo > lo {
+			out = append(out, Interval{Lo: lo, Hi: min64(cur.Lo, iv.Hi)})
+		}
+		lo = max64(lo, cur.Hi)
+		if lo >= iv.Hi {
+			return out
+		}
+	}
+	if lo < iv.Hi {
+		out = append(out, Interval{Lo: lo, Hi: iv.Hi})
+	}
+	return out
+}
+
+// Union returns the set union with o.
+func (s Set) Union(o Set) Set {
+	out := s.Clone()
+	for _, iv := range o.ivs {
+		out.Add(iv)
+	}
+	return out
+}
+
+// Subtract returns s minus o.
+func (s Set) Subtract(o Set) Set {
+	out := s.Clone()
+	for _, iv := range o.ivs {
+		out.Remove(iv)
+	}
+	return out
+}
+
+// Equal reports element-wise set equality.
+func (s Set) Equal(o Set) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set for diagnostics.
+func (s Set) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	out := "{"
+	for i, iv := range s.ivs {
+		if i > 0 {
+			out += " "
+		}
+		out += iv.String()
+	}
+	return out + "}"
+}

@@ -1,0 +1,114 @@
+package rt
+
+import (
+	"testing"
+
+	"heteropart/internal/device"
+	"heteropart/internal/mem"
+	"heteropart/internal/sched"
+	"heteropart/internal/task"
+)
+
+// cpuOnlyKernel has no GPU implementation (OmpSs: only an smp target).
+func cpuOnlyKernel(buf *mem.Buffer, flopsPerElem float64) *task.Kernel {
+	k := flopsKernel("cpuonly", buf, flopsPerElem)
+	k.Devices = []device.Kind{device.CPU}
+	return k
+}
+
+func TestImplementsRejectsBadPin(t *testing.T) {
+	plat := testPlatform(2)
+	dir := mem.NewDirectory(2)
+	buf := dir.Register("a", 1000, 8)
+	k := cpuOnlyKernel(buf, 1e3)
+	var p task.Plan
+	p.Submit(k, 0, 1000, 1, -1) // pinned to the GPU: no implementation
+	if _, err := Execute(Config{Platform: plat, Scheduler: sched.NewStatic()}, &p, dir); err == nil {
+		t.Fatal("GPU pin of a CPU-only kernel accepted")
+	}
+}
+
+func TestImplementsDepSchedulerRespectsRestriction(t *testing.T) {
+	plat := testPlatform(2)
+	dir := mem.NewDirectory(2)
+	buf := dir.Register("a", 12000, 8)
+	k := cpuOnlyKernel(buf, 1e6)
+	var p task.Plan
+	for i := int64(0); i < 12; i++ {
+		p.Submit(k, i*1000, (i+1)*1000, task.Unpinned, int(i))
+	}
+	p.Barrier()
+	res := mustExecute(t, Config{Platform: plat, Scheduler: sched.NewDep()}, &p, dir)
+	if res.InstancesByDevice[1] != 0 {
+		t.Fatalf("GPU executed %d CPU-only instances", res.InstancesByDevice[1])
+	}
+	if res.ElemsByDevice[0] != 12000 {
+		t.Fatalf("CPU computed %d elems, want all", res.ElemsByDevice[0])
+	}
+}
+
+func TestImplementsPerfSchedulerRespectsRestriction(t *testing.T) {
+	plat := testPlatform(2)
+	dir := mem.NewDirectory(2)
+	buf := dir.Register("a", 12000, 8)
+	k := cpuOnlyKernel(buf, 1e6)
+	var p task.Plan
+	for i := int64(0); i < 12; i++ {
+		p.Submit(k, i*1000, (i+1)*1000, task.Unpinned, int(i))
+	}
+	p.Barrier()
+	res := mustExecute(t, Config{Platform: plat, Scheduler: sched.NewPerf()}, &p, dir)
+	if res.InstancesByDevice[1] != 0 {
+		t.Fatalf("GPU executed %d CPU-only instances", res.InstancesByDevice[1])
+	}
+}
+
+func TestImplementsMixedKernels(t *testing.T) {
+	// A CPU-only kernel and an everywhere kernel interleaved: the GPU
+	// should still pick up the unrestricted one.
+	plat := testPlatform(1)
+	dir := mem.NewDirectory(2)
+	bufA := dir.Register("a", 4000, 8)
+	bufB := dir.Register("b", 4000, 8)
+	restricted := cpuOnlyKernel(bufA, 1e6)
+	free := flopsKernel("free", bufB, 1e6)
+	var p task.Plan
+	for i := int64(0); i < 4; i++ {
+		p.Submit(restricted, i*1000, (i+1)*1000, task.Unpinned, int(i))
+		p.Submit(free, i*1000, (i+1)*1000, task.Unpinned, 100+int(i))
+	}
+	p.Barrier()
+	res := mustExecute(t, Config{Platform: plat, Scheduler: sched.NewDep()}, &p, dir)
+	if res.ElemsByKernel["cpuonly"][1] != 0 {
+		t.Fatal("restricted kernel ran on the GPU")
+	}
+	if res.ElemsByKernel["free"][1] == 0 {
+		t.Fatal("the GPU never picked up the unrestricted kernel")
+	}
+}
+
+func TestImplementsNoDeviceAtAll(t *testing.T) {
+	plat := testPlatform(1)
+	dir := mem.NewDirectory(2)
+	buf := dir.Register("a", 1000, 8)
+	k := flopsKernel("phantom", buf, 1e3)
+	k.Devices = []device.Kind{device.Accel} // platform has none
+	var p task.Plan
+	p.Submit(k, 0, 1000, task.Unpinned, -1)
+	if _, err := Execute(Config{Platform: plat, Scheduler: sched.NewDep()}, &p, dir); err == nil {
+		t.Fatal("kernel with no implementable device accepted")
+	}
+}
+
+func TestRunsOnDefaults(t *testing.T) {
+	k := &task.Kernel{Name: "k", Size: 10}
+	for _, kind := range []device.Kind{device.CPU, device.GPU, device.Accel} {
+		if !k.RunsOn(kind) {
+			t.Fatalf("unrestricted kernel refuses %v", kind)
+		}
+	}
+	k.Devices = []device.Kind{device.GPU, device.Accel}
+	if k.RunsOn(device.CPU) || !k.RunsOn(device.GPU) || !k.RunsOn(device.Accel) {
+		t.Fatal("restriction list misapplied")
+	}
+}

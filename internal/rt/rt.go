@@ -1,0 +1,687 @@
+// Package rt is the heart of the substrate: an OmpSs-like task runtime
+// that executes a task.Plan on a simulated heterogeneous platform in
+// virtual time.
+//
+// It reproduces the mechanisms the paper's analysis hinges on:
+//
+//   - a thread-pool execution model: m worker slots on the host CPU, one
+//     per accelerator, each running one task instance at a time;
+//   - data-dependency-driven asynchronous execution (BuildDeps edges
+//     gate instance start);
+//   - multiple memory spaces with automatic consistency: reads insert
+//     host<->device transfers over the modeled PCIe links, writes
+//     invalidate remote copies, taskwait drains all instances and
+//     flushes device memory back to the host;
+//   - pluggable scheduling with per-decision overhead for dynamic
+//     policies and zero overhead for pinned (static) plans.
+package rt
+
+import (
+	"fmt"
+
+	"heteropart/internal/device"
+	"heteropart/internal/mem"
+	"heteropart/internal/sched"
+	"heteropart/internal/sim"
+	"heteropart/internal/task"
+	"heteropart/internal/trace"
+)
+
+// Config parameterizes one execution.
+type Config struct {
+	Platform  *device.Platform
+	Scheduler sched.Scheduler
+	// Trace, when non-nil, receives execution records.
+	Trace *trace.Trace
+	// Compute executes each kernel's real Go implementation at
+	// instance completion (tests); false runs timing-only (benches).
+	Compute bool
+}
+
+// Result summarizes one execution.
+type Result struct {
+	// Makespan is the virtual end-to-end execution time.
+	Makespan sim.Duration
+	// ElemsByDevice sums computed iteration-space elements per device.
+	ElemsByDevice map[int]int64
+	// ElemsByKernel breaks the same down per kernel name.
+	ElemsByKernel map[string]map[int]int64
+	// InstancesByDevice counts task instances per device.
+	InstancesByDevice map[int]int
+	// DeviceBusy is kernel-execution time per device (transfers and
+	// decision overheads excluded).
+	DeviceBusy map[int]sim.Duration
+	// HtoDBytes/DtoHBytes/TransferCount total the PCIe traffic.
+	HtoDBytes, DtoHBytes int64
+	TransferCount        int
+	// Decisions counts dynamic scheduling decisions taken.
+	Decisions int
+	// Instances is the total instance count of the plan.
+	Instances int
+}
+
+// GPURatio returns the fraction of elements computed by non-host
+// devices (the paper's partitioning ratio).
+func (r *Result) GPURatio() float64 {
+	var host, accel int64
+	for dev, n := range r.ElemsByDevice {
+		if dev == 0 {
+			host += n
+		} else {
+			accel += n
+		}
+	}
+	if host+accel == 0 {
+		return 0
+	}
+	return float64(accel) / float64(host+accel)
+}
+
+// KernelGPURatio returns the accelerator share for one kernel.
+func (r *Result) KernelGPURatio(kernel string) float64 {
+	m := r.ElemsByKernel[kernel]
+	var host, accel int64
+	for dev, n := range m {
+		if dev == 0 {
+			host += n
+		} else {
+			accel += n
+		}
+	}
+	if host+accel == 0 {
+		return 0
+	}
+	return float64(accel) / float64(host+accel)
+}
+
+// clockSyncer is implemented by schedulers that keep busy horizons
+// (DP-Perf) and want clamping as virtual time advances.
+type clockSyncer interface{ SyncClock(sim.Time) }
+
+// linkRes models one accelerator's host attachment as sim resources.
+type linkRes struct {
+	link device.Link
+	htod *sim.Resource
+	dtoh *sim.Resource
+}
+
+// res selects the channel for a direction; non-duplex links share one.
+func (l *linkRes) res(toDev bool) *sim.Resource {
+	if toDev {
+		return l.htod
+	}
+	return l.dtoh
+}
+
+type engine struct {
+	cfg  Config
+	eng  *sim.Engine
+	dir  *mem.Directory
+	plan *task.Plan
+
+	links map[int]*linkRes
+	// devQ are per-device FIFO queues of bound instances.
+	devQ map[int][]*task.Instance
+	// central is the ready queue for pull policies.
+	central []*task.Instance
+	// idle counts free executor slots per device.
+	idle map[int]int
+	// slots is the configured executor width per device.
+	slots map[int]int
+
+	pendingDeps map[int]int
+	// dispatchAt records when each running instance left its queue,
+	// for wall-time reporting to the scheduler.
+	dispatchAt map[int]sim.Time
+	// ps is the host's processor-sharing executor.
+	ps *psExec
+	// inflight records transfers on the wire per destination.
+	inflight map[xferKey][]*inflightXfer
+	// eagerBusy/eagerCount track final-region proactive writebacks.
+	eagerBusy  map[int]bool
+	eagerCount int
+	// inBatch suppresses per-completion dispatch while a processor-
+	// sharing batch drains; the batch dispatches once at the end.
+	inBatch     bool
+	remaining   int
+	opIdx       int
+	barrierWait bool
+
+	res *Result
+	err error
+}
+
+// View implementation for schedulers.
+func (e *engine) Now() sim.Time              { return e.eng.Now() }
+func (e *engine) Devices() []*device.Device  { return e.cfg.Platform.Devices() }
+func (e *engine) QueuedOn(dev int) int       { return len(e.devQ[dev]) }
+func (e *engine) LinkOf(dev int) device.Link { return e.cfg.Platform.LinkOf(dev) }
+
+// Execute runs the plan to completion and returns the result. The
+// directory must hold every buffer the plan's accesses reference; it is
+// left in its final state (host whole if the plan ends with a barrier).
+func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("rt: nil platform")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("rt: nil scheduler")
+	}
+	if want := 1 + len(cfg.Platform.Accels); dir.Spaces() != want {
+		return nil, fmt.Errorf("rt: directory has %d spaces, platform needs %d", dir.Spaces(), want)
+	}
+
+	task.BuildDeps(plan)
+
+	e := &engine{
+		cfg:         cfg,
+		eng:         sim.NewEngine(),
+		dir:         dir,
+		plan:        plan,
+		links:       make(map[int]*linkRes),
+		devQ:        make(map[int][]*task.Instance),
+		idle:        make(map[int]int),
+		slots:       make(map[int]int),
+		pendingDeps: make(map[int]int),
+		dispatchAt:  make(map[int]sim.Time),
+		inflight:    make(map[xferKey][]*inflightXfer),
+		eagerBusy:   make(map[int]bool),
+		res: &Result{
+			ElemsByDevice:     make(map[int]int64),
+			ElemsByKernel:     make(map[string]map[int]int64),
+			InstancesByDevice: make(map[int]int),
+			DeviceBusy:        make(map[int]sim.Duration),
+		},
+	}
+
+	// Executor slots: m on the host, 1 per accelerator. Host
+	// instances share the socket via processor sharing.
+	e.slots[0] = cfg.Platform.CPUThreads()
+	e.idle[0] = e.slots[0]
+	host := cfg.Platform.Host
+	e.ps = newPSExec(e.eng,
+		func(in *task.Instance, started sim.Time, demand sim.Duration) {
+			e.inBatch = true
+			e.complete(in, host, started, demand)
+			e.inBatch = false
+		},
+		func() { e.dispatchAll() })
+	for _, a := range cfg.Platform.Accels {
+		e.slots[a.ID] = 1
+		e.idle[a.ID] = 1
+		l := cfg.Platform.LinkOf(a.ID)
+		lr := &linkRes{link: l}
+		lr.htod = sim.NewResource(e.eng, fmt.Sprintf("link%d.htod", a.ID))
+		if l.Duplex {
+			lr.dtoh = sim.NewResource(e.eng, fmt.Sprintf("link%d.dtoh", a.ID))
+		} else {
+			lr.dtoh = lr.htod
+		}
+		e.links[a.ID] = lr
+	}
+
+	// Validate pins, kernel implementations, and count work.
+	for _, in := range plan.Instances() {
+		e.res.Instances++
+		if in.Pin != task.Unpinned {
+			if in.Pin < 0 || in.Pin > len(cfg.Platform.Accels) {
+				return nil, fmt.Errorf("rt: instance %v pinned to unknown device %d", in, in.Pin)
+			}
+			if !in.Kernel.RunsOn(cfg.Platform.Device(in.Pin).Kind) {
+				return nil, fmt.Errorf("rt: instance %v pinned to %v but kernel %q has no implementation for it",
+					in, cfg.Platform.Device(in.Pin), in.Kernel.Name)
+			}
+		} else {
+			supported := false
+			for _, d := range cfg.Platform.Devices() {
+				if in.Kernel.RunsOn(d.Kind) {
+					supported = true
+					break
+				}
+			}
+			if !supported {
+				return nil, fmt.Errorf("rt: kernel %q has no implementation for any platform device", in.Kernel.Name)
+			}
+		}
+		e.pendingDeps[in.ID] = len(in.Deps)
+	}
+
+	e.eng.At(0, func() { e.processOps() })
+	e.eng.Run()
+
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.remaining > 0 || e.opIdx < len(plan.Ops) {
+		return nil, fmt.Errorf("rt: deadlock — %d instances unfinished, op %d/%d",
+			e.remaining, e.opIdx, len(plan.Ops))
+	}
+	e.res.Makespan = e.eng.Now()
+	return e.res, nil
+}
+
+// processOps advances through the plan until a barrier blocks or the
+// plan ends. Dispatch happens once afterwards, so a burst of
+// submissions is offered to all devices breadth-first instead of being
+// swallowed by whichever device is polled first.
+func (e *engine) processOps() {
+	defer e.dispatchAll()
+	for e.opIdx < len(e.plan.Ops) {
+		op := e.plan.Ops[e.opIdx]
+		switch op.Kind {
+		case task.OpSubmit:
+			e.opIdx++
+			e.remaining++
+			in := op.Inst
+			if e.pendingDeps[in.ID] == 0 {
+				e.route(in)
+			}
+		case task.OpBarrier:
+			if e.remaining > 0 || e.eagerCount > 0 {
+				e.barrierWait = true
+				return
+			}
+			e.opIdx++
+			e.flushThen(func() { e.processOps() })
+			return
+		}
+	}
+}
+
+// tryBarrier resumes a blocked taskwait once every instance has
+// completed and in-flight eager writebacks have drained.
+func (e *engine) tryBarrier() {
+	if !e.barrierWait || e.remaining > 0 || e.eagerCount > 0 {
+		return
+	}
+	e.barrierWait = false
+	e.opIdx++
+	e.flushThen(func() { e.processOps() })
+}
+
+// inFinalRegion reports whether the main program has issued its last
+// submission (only barriers remain). The device software cache uses a
+// write-back policy: dirty data stays on the device while more kernels
+// may reuse it, and intermediate taskwaits flush synchronously. Only in
+// the final region does the runtime stream results back eagerly — the
+// paper's SP-Unified pattern, "one device-to-host data transfer after
+// the last kernel finishes", which overlaps the host's remaining work.
+func (e *engine) inFinalRegion() bool {
+	for i := e.opIdx; i < len(e.plan.Ops); i++ {
+		if e.plan.Ops[i].Kind != task.OpBarrier {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeEagerFlush starts proactive writebacks from a fully drained
+// accelerator during the final program region.
+func (e *engine) maybeEagerFlush(dev int) {
+	if dev == 0 || e.eagerBusy[dev] || !e.inFinalRegion() {
+		return
+	}
+	if len(e.devQ[dev]) > 0 || len(e.central) > 0 || e.idle[dev] != e.slots[dev] {
+		return
+	}
+	var txs []mem.Transfer
+	for _, tr := range e.dir.FlushAllTransfers() {
+		if int(tr.From) == dev {
+			txs = append(txs, tr)
+		}
+	}
+	if len(txs) == 0 {
+		return
+	}
+	e.eagerBusy[dev] = true
+	e.eagerCount++
+	e.ensure(txs, func() {
+		e.eagerCount--
+		e.eagerBusy[dev] = false
+		e.maybeEagerFlush(dev)
+		e.tryBarrier()
+	})
+}
+
+// flushThen moves all device-resident data back to the host and drops
+// the device copies (taskwait semantics: the runtime releases device
+// allocations, so post-barrier reuse re-transfers), then continues.
+func (e *engine) flushThen(cont func()) {
+	transfers := e.dir.FlushAllTransfers()
+	if len(transfers) == 0 {
+		e.dir.DropDeviceCopies()
+		cont()
+		return
+	}
+	start := e.eng.Now()
+	e.ensure(transfers, func() {
+		e.dir.DropDeviceCopies()
+		e.cfg.Trace.Add(trace.Record{
+			Kind: trace.Barrier, Start: start, End: e.eng.Now(),
+			Device: -1, Label: "taskwait-flush",
+		})
+		cont()
+	})
+}
+
+// xferKey identifies the destination of an in-flight transfer.
+type xferKey struct {
+	buf int
+	to  mem.Space
+}
+
+// inflightXfer is one transfer on the wire; later requests for
+// overlapping data subscribe instead of re-issuing it.
+type inflightXfer struct {
+	iv   mem.Interval
+	subs []func()
+}
+
+// ensure makes the data named by the transfer list present at its
+// destinations, deduplicating against transfers already in flight:
+// requested intervals covered by an in-flight transfer subscribe to its
+// completion, the rest are issued. done fires once everything is
+// present.
+func (e *engine) ensure(transfers []mem.Transfer, done func()) {
+	left := 1 // sentinel so done cannot fire before all issues
+	fire := func() {
+		left--
+		if left == 0 {
+			done()
+		}
+	}
+	for _, tr := range transfers {
+		key := xferKey{tr.Buf.ID, tr.To}
+		remaining := mem.NewSet(tr.Interval)
+		for _, fl := range e.inflight[key] {
+			if remaining.IntersectInterval(fl.iv).Empty() {
+				continue
+			}
+			left++
+			fl.subs = append(fl.subs, fire)
+			remaining.Remove(fl.iv)
+		}
+		for _, iv := range remaining.Intervals() {
+			left++
+			e.runTransfer(mem.Transfer{Buf: tr.Buf, Interval: iv, From: tr.From, To: tr.To}, fire)
+		}
+	}
+	fire()
+}
+
+// runTransfer performs one directory transfer over the modeled links,
+// splitting device-to-device moves into two legs through the host,
+// registering the in-flight record, and committing the directory state
+// at completion.
+func (e *engine) runTransfer(tr mem.Transfer, done func()) {
+	from, to := int(tr.From), int(tr.To)
+	if from != 0 && to != 0 {
+		// Accelerator to accelerator: stage through the host.
+		leg1 := mem.Transfer{Buf: tr.Buf, Interval: tr.Interval, From: tr.From, To: mem.HostSpace}
+		leg2 := mem.Transfer{Buf: tr.Buf, Interval: tr.Interval, From: mem.HostSpace, To: tr.To}
+		e.runTransfer(leg1, func() { e.runTransfer(leg2, done) })
+		return
+	}
+	if from == to {
+		done()
+		return
+	}
+	accel := from
+	toDev := false
+	if from == 0 {
+		accel = to
+		toDev = true
+	}
+	key := xferKey{tr.Buf.ID, tr.To}
+	fl := &inflightXfer{iv: tr.Interval}
+	e.inflight[key] = append(e.inflight[key], fl)
+	lr := e.links[accel]
+	dur := lr.link.TransferTime(tr.Bytes(), toDev)
+	var startAt sim.Time
+	lr.res(toDev).Acquire(dur,
+		func() { startAt = e.eng.Now() },
+		func() {
+			e.dir.Commit(tr)
+			list := e.inflight[key]
+			for i, x := range list {
+				if x == fl {
+					e.inflight[key] = append(list[:i:i], list[i+1:]...)
+					break
+				}
+			}
+			e.res.TransferCount++
+			if toDev {
+				e.res.HtoDBytes += tr.Bytes()
+			} else {
+				e.res.DtoHBytes += tr.Bytes()
+			}
+			e.cfg.Trace.Add(trace.Record{
+				Kind: trace.Transfer, Start: startAt, End: e.eng.Now(),
+				Device: accel, Label: tr.Buf.Name, Bytes: tr.Bytes(), ToDev: toDev,
+			})
+			done()
+			for _, s := range fl.subs {
+				s()
+			}
+		})
+}
+
+// route places a ready instance: pinned instances go straight to their
+// device queue; otherwise the scheduler chooses (push) or the central
+// queue holds it (pull). Callers dispatch afterwards.
+func (e *engine) route(in *task.Instance) {
+	if in.Pin != task.Unpinned {
+		e.devQ[in.Pin] = append(e.devQ[in.Pin], in)
+		e.cfg.Scheduler.Placed(in, in.Pin)
+		return
+	}
+	if cs, ok := e.cfg.Scheduler.(clockSyncer); ok {
+		cs.SyncClock(e.eng.Now())
+	}
+	if dev, ok := e.cfg.Scheduler.OnReady(in, e); ok {
+		e.devQ[dev] = append(e.devQ[dev], in)
+		e.cfg.Scheduler.Placed(in, dev)
+		return
+	}
+	e.central = append(e.central, in)
+}
+
+// reofferCentral gives a push scheduler that deferred instances (e.g.
+// DP-Perf during its profiling gate) another chance after state
+// changed. Pull policies simply keep deferring and consume the central
+// queue through OnIdle instead.
+func (e *engine) reofferCentral() {
+	if len(e.central) == 0 {
+		return
+	}
+	if cs, ok := e.cfg.Scheduler.(clockSyncer); ok {
+		cs.SyncClock(e.eng.Now())
+	}
+	var remaining []*task.Instance
+	for _, in := range e.central {
+		if dev, ok := e.cfg.Scheduler.OnReady(in, e); ok {
+			e.devQ[dev] = append(e.devQ[dev], in)
+			e.cfg.Scheduler.Placed(in, dev)
+			continue
+		}
+		remaining = append(remaining, in)
+	}
+	e.central = remaining
+}
+
+// dispatchAll offers work to idle executors in breadth-first rounds:
+// each round gives every device with a free slot at most one instance,
+// so a 1-slot accelerator competes fairly with the m-slot host for
+// central-queue work (this is how the paper's DP-Dep run of MatrixMul
+// ends up with exactly one instance on the GPU, Section IV-B1).
+func (e *engine) dispatchAll() {
+	for {
+		progress := false
+		for _, d := range e.cfg.Platform.Devices() {
+			if e.idle[d.ID] > 0 && e.dispatchOne(d) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// dispatchOne starts at most one instance on d; reports whether it did.
+func (e *engine) dispatchOne(d *device.Device) bool {
+	var in *task.Instance
+	if q := e.devQ[d.ID]; len(q) > 0 {
+		in = q[0]
+		e.devQ[d.ID] = q[1:]
+	} else if len(e.central) > 0 {
+		if cs, ok := e.cfg.Scheduler.(clockSyncer); ok {
+			cs.SyncClock(e.eng.Now())
+		}
+		pick := e.cfg.Scheduler.OnIdle(d.ID, e.central, e)
+		if pick == nil {
+			return false
+		}
+		found := false
+		for i, c := range e.central {
+			if c == pick {
+				e.central = append(e.central[:i:i], e.central[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.fail(fmt.Errorf("rt: scheduler %s picked %v not in ready queue",
+				e.cfg.Scheduler.Name(), pick))
+			return false
+		}
+		e.cfg.Scheduler.Placed(pick, d.ID)
+		in = pick
+	} else {
+		return false
+	}
+	e.idle[d.ID]--
+	e.start(in, d)
+	return true
+}
+
+// start runs the instance's lifecycle on device d: decision overhead
+// (dynamic only), input transfers, kernel execution, completion.
+func (e *engine) start(in *task.Instance, d *device.Device) {
+	e.dispatchAt[in.ID] = e.eng.Now()
+	begin := func() { e.startTransfers(in, d) }
+	if in.Pin == task.Unpinned {
+		oh := e.cfg.Scheduler.Overhead()
+		e.res.Decisions++
+		if oh > 0 {
+			s := e.eng.Now()
+			e.cfg.Trace.Add(trace.Record{
+				Kind: trace.Decision, Start: s, End: s + oh,
+				Device: d.ID, Label: in.String(),
+			})
+			e.eng.After(oh, begin)
+			return
+		}
+	}
+	begin()
+}
+
+func (e *engine) startTransfers(in *task.Instance, d *device.Device) {
+	var transfers []mem.Transfer
+	space := mem.Space(d.ID)
+	for _, a := range in.Accesses {
+		if !a.Mode.Reads() {
+			continue
+		}
+		transfers = append(transfers, e.dir.TransfersForRead(a.Buf, space, a.Interval)...)
+	}
+	if len(transfers) == 0 {
+		e.exec(in, d)
+		return
+	}
+	e.ensure(transfers, func() { e.exec(in, d) })
+}
+
+func (e *engine) exec(in *task.Instance, d *device.Device) {
+	eff := in.Kernel.EffOn(d.Kind)
+	w := in.Work()
+	if d.ID == 0 && d.Share > 1 {
+		// Host: full-speed demand under processor sharing.
+		e.ps.Add(in, d.ExecTimeFull(w, eff))
+		return
+	}
+	dur := d.ExecTime(w, eff)
+	startAt := e.eng.Now()
+	e.eng.After(dur, func() { e.complete(in, d, startAt, dur) })
+}
+
+func (e *engine) complete(in *task.Instance, d *device.Device, startAt sim.Time, dur sim.Duration) {
+	if e.cfg.Compute && in.Kernel.Compute != nil {
+		in.Kernel.Compute(in.Lo, in.Hi)
+	}
+	space := mem.Space(d.ID)
+	for _, a := range in.Accesses {
+		if a.Mode.Writes() {
+			e.dir.MarkWritten(a.Buf, space, a.Interval)
+		}
+	}
+
+	e.cfg.Trace.Add(trace.Record{
+		Kind: trace.TaskRun, Start: startAt, End: e.eng.Now(),
+		Device: d.ID, Label: in.String(), Kernel: in.Kernel.Name, Elems: in.Elems(),
+	})
+	e.res.ElemsByDevice[d.ID] += in.Elems()
+	km := e.res.ElemsByKernel[in.Kernel.Name]
+	if km == nil {
+		km = make(map[int]int64)
+		e.res.ElemsByKernel[in.Kernel.Name] = km
+	}
+	km[d.ID] += in.Elems()
+	e.res.InstancesByDevice[d.ID]++
+	e.res.DeviceBusy[d.ID] += dur
+
+	// Report to the scheduler: dispatch-to-completion wall time on an
+	// accelerator (its transfers ride on its own pipeline), dedicated-
+	// equivalent service demand on the processor-sharing host (wall
+	// time there depends on how crowded the socket happened to be, so
+	// it is not a rate).
+	reported := e.eng.Now() - e.dispatchAt[in.ID]
+	if d.ID == 0 && d.Share > 1 {
+		reported = dur
+	}
+	delete(e.dispatchAt, in.ID)
+	e.cfg.Scheduler.Completed(in, d.ID, reported)
+	if cs, ok := e.cfg.Scheduler.(clockSyncer); ok {
+		cs.SyncClock(e.eng.Now())
+	}
+
+	// Release successors. Dependencies never cross barriers and all
+	// submissions in a barrier window happen synchronously before any
+	// completion event can fire, so every successor is already
+	// submitted.
+	for _, s := range in.Succs {
+		e.pendingDeps[s.ID]--
+		if e.pendingDeps[s.ID] == 0 {
+			e.route(s)
+		}
+	}
+
+	e.remaining--
+	e.idle[d.ID]++
+	e.reofferCentral()
+	if !e.inBatch {
+		e.dispatchAll()
+	}
+
+	if d.ID != 0 {
+		e.maybeEagerFlush(d.ID)
+	}
+	e.tryBarrier()
+}
+
+func (e *engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.eng.Halt()
+}

@@ -1,0 +1,71 @@
+package rt
+
+import (
+	"testing"
+
+	"heteropart/internal/mem"
+	"heteropart/internal/sched"
+	"heteropart/internal/task"
+)
+
+// BenchmarkRuntimeStaticThroughput measures simulated task instances
+// per second of real time under a fully pinned plan.
+func BenchmarkRuntimeStaticThroughput(b *testing.B) {
+	plat := testPlatform(12)
+	for i := 0; i < b.N; i++ {
+		dir := mem.NewDirectory(2)
+		buf := dir.Register("a", 128*1000, 8)
+		k := flopsKernel("k", buf, 1e4)
+		var p task.Plan
+		for c := int64(0); c < 128; c++ {
+			pin := 0
+			if c%13 == 0 {
+				pin = 1
+			}
+			p.Submit(k, c*1000, (c+1)*1000, pin, -1)
+		}
+		p.Barrier()
+		if _, err := Execute(Config{Platform: plat, Scheduler: sched.NewStatic()}, &p, dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeDynamicThroughput measures the dynamic path:
+// dependence analysis, scheduling decisions, transfers.
+func BenchmarkRuntimeDynamicThroughput(b *testing.B) {
+	plat := testPlatform(12)
+	for i := 0; i < b.N; i++ {
+		dir := mem.NewDirectory(2)
+		buf := dir.Register("a", 128*1000, 8)
+		k := flopsKernel("k", buf, 1e4)
+		var p task.Plan
+		for c := int64(0); c < 128; c++ {
+			p.Submit(k, c*1000, (c+1)*1000, task.Unpinned, int(c))
+		}
+		p.Barrier()
+		if _, err := Execute(Config{Platform: plat, Scheduler: sched.NewPerf()}, &p, dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcessorSharing measures the PS executor under churn:
+// staggered arrivals with heterogeneous demands force continual
+// re-scaling.
+func BenchmarkProcessorSharing(b *testing.B) {
+	plat := testPlatform(16)
+	for i := 0; i < b.N; i++ {
+		dir := mem.NewDirectory(2)
+		buf := dir.Register("a", 256*100, 8)
+		var p task.Plan
+		for c := int64(0); c < 256; c++ {
+			k := flopsKernel("k", buf, float64(1e3*(c%7+1)))
+			p.Submit(k, c*100, (c+1)*100, 0, -1)
+		}
+		p.Barrier()
+		if _, err := Execute(Config{Platform: plat, Scheduler: sched.NewStatic()}, &p, dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

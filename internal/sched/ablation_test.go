@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"testing"
+
+	"heteropart/internal/mem"
+	"heteropart/internal/task"
+)
+
+func TestDepNoAffinityIgnoresChains(t *testing.T) {
+	d := NewDepNoAffinity()
+	k := kernel("k")
+	v := paperView()
+	d.Placed(inst(k, 0, 0, 10, 7), 1)
+	// Device 1 owns chain 7, but without affinity the oldest ready
+	// instance wins regardless.
+	ready := []*task.Instance{inst(k, 1, 50, 60, 3), inst(k, 2, 0, 10, 7)}
+	if got := d.OnIdle(1, ready, v); got != ready[0] {
+		t.Fatalf("no-affinity picked %v, want oldest", got)
+	}
+	if d.Name() != "DP-Dep" {
+		t.Fatal("ablated variant must keep the policy name")
+	}
+}
+
+func TestDepNoAffinityDoesNotRecordChains(t *testing.T) {
+	d := NewDepNoAffinity()
+	d.Placed(inst(kernel("k"), 0, 0, 10, 7), 1)
+	if len(d.chainHome) != 0 {
+		t.Fatal("no-affinity variant recorded chain residency")
+	}
+}
+
+func TestPerfWritebackCostAndBlindAblation(t *testing.T) {
+	dir := mem.NewDirectory(2)
+	buf := dir.Register("out", 1000, 8)
+	v := paperView()
+
+	in := inst(kernel("k"), 0, 0, 1000, -1)
+	in.Accesses = []task.Access{
+		{Buf: buf, Interval: mem.Interval{Lo: 0, Hi: 1000}, Mode: task.Write},
+	}
+
+	aware := NewPerf()
+	blind := NewPerfBlind()
+
+	// 8000 B over the 6 GB/s paper link + latency.
+	got := aware.writebackCost(in, 1, v)
+	want := v.LinkOf(1).TransferTime(8000, false)
+	if got != want {
+		t.Fatalf("writeback cost = %v, want %v", got, want)
+	}
+	if aware.writebackCost(in, 0, v) != 0 {
+		t.Fatal("host writeback must be free")
+	}
+	if blind.writebackCost(in, 1, v) != 0 {
+		t.Fatal("blind variant priced the writeback")
+	}
+	// Read-only instances cost nothing either way.
+	in.Accesses[0].Mode = task.Read
+	if aware.writebackCost(in, 1, v) != 0 {
+		t.Fatal("read access priced as writeback")
+	}
+}

@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"heteropart/internal/device"
+	"heteropart/internal/sim"
+	"heteropart/internal/task"
+)
+
+// WarmupInstances is the fixed profiling phase of DP-Perf: each device
+// receives this many instances of each kernel before the
+// performance-aware policy engages (Section IV-A3 of the paper).
+const WarmupInstances = 3
+
+type kernelDev struct {
+	kernel string
+	dev    int
+}
+
+type rateEst struct {
+	samples int
+	// nsPerUnit is the running mean execution rate per size unit
+	// (access bytes when the kernel declares accesses, else elements).
+	nsPerUnit float64
+}
+
+// Perf is the DP-Perf policy: a performance-aware push scheduler
+// (after Planas et al., IPDPS 2013). For each kernel it learns how
+// fast each device processes a partition — from the measured durations
+// reported by the runtime: dispatch-to-completion wall time on an
+// accelerator (attributing a task's *input* transfers to the task),
+// dedicated-equivalent service time on the processor-sharing host —
+// keeps an estimated busy horizon per device, and assigns each newly
+// ready instance to the device that would finish it earliest.
+//
+// Because output data written on a device is only moved back at a
+// later flush, that cost is attributed to no task: the policy
+// systematically overestimates devices whose real cost is
+// writeback-heavy. The paper observes exactly this bias ("DP-Perf
+// overestimates the GPU capability", Section IV-B1).
+type Perf struct {
+	overhead sim.Duration
+	rates    map[kernelDev]*rateEst
+	// assigned counts per kernel/device placements during warm-up.
+	assigned map[kernelDev]int
+	// busyUntil is the estimated completion horizon per device.
+	busyUntil map[int]sim.Time
+	// blind disables the data-aware writeback prediction (ablation).
+	blind bool
+	// rr rotates warm-up placements deterministically.
+	rr int
+}
+
+// NewPerf returns a DP-Perf scheduler with the default decision
+// overhead and an empty profile.
+func NewPerf() *Perf {
+	return &Perf{
+		overhead:  DefaultDecisionOverhead,
+		rates:     make(map[kernelDev]*rateEst),
+		assigned:  make(map[kernelDev]int),
+		busyUntil: make(map[int]sim.Time),
+	}
+}
+
+// NewPerfBlind returns the ablated variant: rate learning only, no
+// data-aware writeback prediction.
+func NewPerfBlind() *Perf {
+	p := NewPerf()
+	p.blind = true
+	return p
+}
+
+// Name implements Scheduler.
+func (p *Perf) Name() string { return "DP-Perf" }
+
+// OnReady implements Scheduler: pick the earliest-finishing device.
+func (p *Perf) OnReady(in *task.Instance, v View) (int, bool) {
+	// Only devices whose kind implements the kernel are candidates
+	// (the OmpSs "implements" clause).
+	var devs []*device.Device
+	for _, d := range v.Devices() {
+		if in.Kernel.RunsOn(d.Kind) {
+			devs = append(devs, d)
+		}
+	}
+	if len(devs) == 0 {
+		return 0, false // nothing can run it; the runtime reports the plan bug
+	}
+	// Warm-up: any device short of profile samples for this kernel
+	// gets the instance (round-robin across the starved devices).
+	var starving []int
+	for _, d := range devs {
+		if p.assigned[kernelDev{in.Kernel.Name, d.ID}] < WarmupInstances {
+			starving = append(starving, d.ID)
+		}
+	}
+	if len(starving) > 0 {
+		dev := starving[p.rr%len(starving)]
+		p.rr++
+		return dev, true
+	}
+
+	// Profiling gate: until every device has at least one measured
+	// completion of this kernel, defer further instances (the runtime
+	// re-offers them after each completion). This is the "fixed
+	// profiling phase" of Section IV-A3: the policy refuses to commit
+	// the bulk of the work on guesses.
+	for _, d := range devs {
+		r, ok := p.rates[kernelDev{in.Kernel.Name, d.ID}]
+		if !ok || r.samples == 0 {
+			return 0, false
+		}
+	}
+
+	best, bestFinish := -1, sim.Time(0)
+	for _, d := range devs {
+		est := p.estimate(in, d.ID) + p.writebackCost(in, d.ID, v)
+		horizon := p.busyUntil[d.ID]
+		if horizon < v.Now() {
+			horizon = v.Now()
+		}
+		finish := horizon + est
+		if best == -1 || finish < bestFinish {
+			best, bestFinish = d.ID, finish
+		}
+	}
+	return best, true
+}
+
+// sizeOf measures an instance for rate normalization: the bytes its
+// accesses touch — a quantity the runtime legitimately knows from the
+// task annotations, and one that tracks real cost even when the
+// iteration space is imbalanced (packed triangular data). Kernels
+// without accesses fall back to element counts.
+func sizeOf(in *task.Instance) float64 {
+	var bytes int64
+	for _, a := range in.Accesses {
+		bytes += a.Buf.Bytes(a.Interval)
+	}
+	if bytes > 0 {
+		return float64(bytes)
+	}
+	return float64(in.Elems())
+}
+
+// estimate returns the predicted wall span of in on dev from the
+// learned rates.
+func (p *Perf) estimate(in *task.Instance, dev int) sim.Duration {
+	r, ok := p.rates[kernelDev{in.Kernel.Name, dev}]
+	if !ok || r.samples == 0 {
+		return 0 // unknown device looks free: exploration
+	}
+	return sim.Duration(r.nsPerUnit * sizeOf(in))
+}
+
+// writebackCost predicts the device-to-host cost of the data the
+// instance writes on a non-host device — the data-aware component of
+// the Planas scheduler: learned rates only see transfers that happened
+// on an instance's own critical path, while written data is flushed
+// later, so the policy prices it from the access declarations.
+func (p *Perf) writebackCost(in *task.Instance, dev int, v View) sim.Duration {
+	if dev == 0 || p.blind {
+		return 0
+	}
+	var bytes int64
+	for _, a := range in.Accesses {
+		if a.Mode.Writes() {
+			bytes += a.Buf.Bytes(a.Interval)
+		}
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return v.LinkOf(dev).TransferTime(bytes, false)
+}
+
+// OnIdle implements Scheduler: DP-Perf never uses the central queue.
+func (p *Perf) OnIdle(int, []*task.Instance, View) *task.Instance { return nil }
+
+// Placed implements Scheduler: advance the device's busy horizon by
+// the full estimate. This is exact for both executor models: a serial
+// accelerator works through its queue one instance at a time, and an
+// m-way processor-sharing host finishes c equal chunks of demand D at
+// time c·D (each runs at 1/c speed), so the (c+1)th lands at (c+1)·D.
+func (p *Perf) Placed(in *task.Instance, dev int) {
+	k := kernelDev{in.Kernel.Name, dev}
+	p.assigned[k]++
+	p.busyUntil[dev] += p.estimate(in, dev)
+}
+
+// Completed implements Scheduler: fold the measured rate into the
+// running mean.
+func (p *Perf) Completed(in *task.Instance, dev int, took sim.Duration) {
+	size := sizeOf(in)
+	if size <= 0 {
+		return
+	}
+	k := kernelDev{in.Kernel.Name, dev}
+	r := p.rates[k]
+	if r == nil {
+		r = &rateEst{}
+		p.rates[k] = r
+	}
+	obs := float64(took) / size
+	r.samples++
+	r.nsPerUnit += (obs - r.nsPerUnit) / float64(r.samples)
+}
+
+// Overhead implements Scheduler.
+func (p *Perf) Overhead() sim.Duration { return p.overhead }
+
+// SyncClock clamps all busy horizons to the given time; the runtime
+// calls this as virtual time advances so stale horizons do not
+// accumulate error.
+func (p *Perf) SyncClock(now sim.Time) {
+	for d, t := range p.busyUntil {
+		if t < now {
+			p.busyUntil[d] = now
+		}
+	}
+}
+
+// ProfileSnapshot is a trained DP-Perf profile that can seed another
+// run. The paper excludes the fixed profiling phase from its
+// measurements; experiments reproduce that by training a throwaway run
+// and seeding the measured one.
+type ProfileSnapshot struct {
+	rates    map[kernelDev]rateEst
+	assigned map[kernelDev]int
+}
+
+// Snapshot captures the learned rates.
+func (p *Perf) Snapshot() ProfileSnapshot {
+	s := ProfileSnapshot{rates: make(map[kernelDev]rateEst), assigned: make(map[kernelDev]int)}
+	for k, r := range p.rates {
+		s.rates[k] = *r
+	}
+	for k, n := range p.assigned {
+		s.assigned[k] = n
+	}
+	return s
+}
+
+// Seed installs a previously captured profile, marking warm-up as
+// already done for the covered kernel/device pairs.
+func (p *Perf) Seed(s ProfileSnapshot) {
+	for k, r := range s.rates {
+		cp := r
+		p.rates[k] = &cp
+	}
+	for k, n := range s.assigned {
+		if n > p.assigned[k] {
+			p.assigned[k] = n
+		}
+	}
+}

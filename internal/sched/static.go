@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"fmt"
+
+	"heteropart/internal/sim"
+	"heteropart/internal/task"
+)
+
+// Static is the policy used with fully pinned plans (all SP-*
+// strategies and the Only-CPU / Only-GPU configurations): every
+// instance carries its device, so the scheduler is never consulted —
+// and there is no per-instance decision overhead, which is the paper's
+// core argument for static partitioning. Receiving an unpinned instance
+// is a plan bug and panics.
+type Static struct{}
+
+// NewStatic returns the static no-op policy.
+func NewStatic() Static { return Static{} }
+
+// Name implements Scheduler.
+func (Static) Name() string { return "static" }
+
+// OnReady implements Scheduler.
+func (Static) OnReady(in *task.Instance, _ View) (int, bool) {
+	panic(fmt.Sprintf("sched: unpinned instance %v under static policy", in))
+}
+
+// OnIdle implements Scheduler.
+func (Static) OnIdle(int, []*task.Instance, View) *task.Instance { return nil }
+
+// Placed implements Scheduler.
+func (Static) Placed(*task.Instance, int) {}
+
+// Completed implements Scheduler.
+func (Static) Completed(*task.Instance, int, sim.Duration) {}
+
+// Overhead implements Scheduler: static placement decides nothing at
+// runtime.
+func (Static) Overhead() sim.Duration { return 0 }

@@ -1,0 +1,211 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock measured in integer nanoseconds and
+// dispatches events in (time, sequence) order, so two runs of the same
+// program produce bit-identical traces regardless of host scheduling.
+// Everything executes on the calling goroutine; no locks are needed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts a virtual duration to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds converts a virtual duration to float milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// Microseconds converts a virtual duration to float microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < 10*Millisecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t < 10*Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// DurationOf converts float seconds into a virtual Duration, rounding to
+// the nearest nanosecond and saturating instead of overflowing.
+func DurationOf(seconds float64) Duration {
+	if seconds <= 0 {
+		return 0
+	}
+	ns := seconds * 1e9
+	if ns >= float64(math.MaxInt64) {
+		return MaxTime
+	}
+	return Duration(ns + 0.5)
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 when not queued
+}
+
+// Cancel prevents a pending event from firing. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Time reports when the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including canceled ones
+// that have not been reaped yet).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	if e.now > MaxTime-d {
+		return e.At(MaxTime, fn)
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step dispatches the single earliest pending event. It returns false if
+// the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains or Halt is called.
+// It returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= deadline. Events beyond
+// the deadline remain queued. The clock is left at min(deadline, last
+// fired event time) — it never jumps forward past fired events.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for !e.halted {
+		// Peek.
+		var next *Event
+		for len(e.queue) > 0 && e.queue[0].dead {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 {
+			break
+		}
+		next = e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineDispatch measures raw event throughput: chained
+// events, each scheduling its successor.
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N {
+			e.After(1, next)
+		}
+	}
+	e.At(0, next)
+	b.ResetTimer()
+	e.Run()
+	if n != b.N && b.N > 0 {
+		b.Fatalf("dispatched %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineHeap measures queue behaviour with many pending
+// events (heap pressure).
+func BenchmarkEngineHeap(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i%1000), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceAcquire measures the FIFO resource fast path.
+func BenchmarkResourceAcquire(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(10, nil, nil)
+	}
+}
+
+// BenchmarkSlotsAcquire measures the k-server pool.
+func BenchmarkSlotsAcquire(b *testing.B) {
+	e := NewEngine()
+	s := NewSlots(e, "cpu", 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Acquire(10, nil, nil)
+	}
+}

@@ -1,0 +1,55 @@
+package strategy
+
+import (
+	"fmt"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/sim"
+)
+
+// DefaultChunkCandidates are the task counts the auto-tuner sweeps:
+// multiples of the paper platform's worker-thread counts.
+var DefaultChunkCandidates = []int{6, 12, 24, 48, 96}
+
+// TunePoint is one auto-tuning measurement.
+type TunePoint struct {
+	Chunks   int
+	Makespan sim.Duration
+}
+
+// AutoTuneChunks implements the Discussion-section recommendation
+// ("the task size impacts performance as well ... auto-tuning is
+// recommended to find the best performing one"): sweep the dynamic
+// task count over the candidates, measure each, and return the best
+// configuration together with the whole sweep. build must return a
+// fresh problem per call (directories are stateful).
+func AutoTuneChunks(s Strategy, build func() (*apps.Problem, error),
+	plat *device.Platform, opts Options, candidates []int) (int, []TunePoint, error) {
+	if len(candidates) == 0 {
+		candidates = DefaultChunkCandidates
+	}
+	best := -1
+	bestT := sim.MaxTime
+	var sweep []TunePoint
+	for _, m := range candidates {
+		if m <= 0 {
+			return 0, nil, fmt.Errorf("strategy: invalid chunk candidate %d", m)
+		}
+		p, err := build()
+		if err != nil {
+			return 0, nil, err
+		}
+		o := opts
+		o.Chunks = m
+		out, err := s.Run(p, plat, o)
+		if err != nil {
+			return 0, nil, fmt.Errorf("strategy: auto-tune at m=%d: %w", m, err)
+		}
+		sweep = append(sweep, TunePoint{Chunks: m, Makespan: out.Result.Makespan})
+		if out.Result.Makespan < bestT {
+			best, bestT = m, out.Result.Makespan
+		}
+	}
+	return best, sweep, nil
+}

@@ -1,0 +1,100 @@
+package strategy
+
+import (
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+)
+
+func TestAutoTuneChunksPicksMinimum(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	app, _ := apps.ByName("BlackScholes")
+	build := func() (*apps.Problem, error) {
+		return app.Build(apps.Variant{N: 50000})
+	}
+	best, sweep, err := AutoTuneChunks(DPPerf{}, build, plat, Options{}, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 3 {
+		t.Fatalf("sweep = %v", sweep)
+	}
+	var minT = sweep[0].Makespan
+	var minM = sweep[0].Chunks
+	for _, pt := range sweep {
+		if pt.Makespan < minT {
+			minT, minM = pt.Makespan, pt.Chunks
+		}
+	}
+	if best != minM {
+		t.Fatalf("best = %d, measured min at %d", best, minM)
+	}
+}
+
+func TestAutoTuneChunksErrors(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	app, _ := apps.ByName("BlackScholes")
+	build := func() (*apps.Problem, error) { return app.Build(apps.Variant{N: 1000}) }
+	if _, _, err := AutoTuneChunks(DPPerf{}, build, plat, Options{}, []int{0}); err == nil {
+		t.Fatal("zero candidate accepted")
+	}
+	if _, _, err := AutoTuneChunks(SPSingle{}, func() (*apps.Problem, error) {
+		return apps.NewStreamSeq().Build(apps.Variant{N: 1000})
+	}, plat, Options{}, []int{2}); err == nil {
+		t.Fatal("error from strategy not propagated")
+	}
+}
+
+func TestAutoTuneDefaultCandidates(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	app, _ := apps.ByName("BlackScholes")
+	build := func() (*apps.Problem, error) { return app.Build(apps.Variant{N: 100000}) }
+	_, sweep, err := AutoTuneChunks(DPDep{}, build, plat, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(DefaultChunkCandidates) {
+		t.Fatalf("sweep = %d points, want %d", len(sweep), len(DefaultChunkCandidates))
+	}
+}
+
+func TestDPRefinedDAGRunsAndPins(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	app, _ := apps.ByName("Cholesky")
+	p, err := app.Build(apps.Variant{N: 64, Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DPRefinedDAG{Pins: map[string]int{"potrf": 0}}
+	if !s.Applicable(p.Class(), false) {
+		t.Fatal("DP-Refined must apply to MK-DAG")
+	}
+	out, err := s.Run(p, plat, Options{Compute: true, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Every potrf record must sit on device 0.
+	for _, r := range out.Trace.Records {
+		if r.Kernel == "potrf" && r.Device != 0 {
+			t.Fatalf("potrf ran on device %d despite pin", r.Device)
+		}
+	}
+}
+
+func TestDPRefinedDAGErrors(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	app, _ := apps.ByName("STREAM-Seq")
+	p, _ := app.Build(apps.Variant{N: 1000})
+	if _, err := (DPRefinedDAG{}).Run(p, plat, Options{}); err == nil {
+		t.Fatal("chunkable app accepted")
+	}
+	chol, _ := apps.ByName("Cholesky")
+	pc, _ := chol.Build(apps.Variant{N: 64})
+	if _, err := (DPRefinedDAG{Pins: map[string]int{"potrf": 9}}).Run(pc, plat, Options{}); err == nil {
+		t.Fatal("bad pin accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package strategy
+
+import (
+	"fmt"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/classify"
+	"heteropart/internal/device"
+	"heteropart/internal/glinda"
+	"heteropart/internal/sched"
+	"heteropart/internal/task"
+)
+
+// ConvertRatio implements the Discussion-section recipe for making an
+// already-dynamic implementation "behave" like static partitioning
+// (Section V): convert a static partitioning ratio into a
+// task-assignment ratio over m equal task instances — l instances to
+// the GPU, k = m-l to the CPU.
+func ConvertRatio(beta float64, m int) (cpuInstances, gpuInstances int) {
+	if m < 1 {
+		return 0, 0
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	if beta > 1 {
+		beta = 1
+	}
+	l := int(beta*float64(m) + 0.5)
+	return m - l, l
+}
+
+// DPConverted is the Section-V conversion applied end to end: keep the
+// dynamic implementation's m equal task instances, but pin the first l
+// of each kernel to the GPU and the remaining k to the CPU according
+// to Glinda's ratio. The application gets a close-to-optimal
+// partitioning with minimal manual effort — slightly below true SP-*
+// because the chunk grid quantizes the ratio.
+type DPConverted struct{}
+
+// Name implements Strategy.
+func (DPConverted) Name() string { return "DP-Converted" }
+
+// Applicable implements Strategy: anywhere a static strategy applies.
+func (DPConverted) Applicable(cls classify.Class, _ bool) bool {
+	return cls != classify.MKDAG
+}
+
+// Run implements Strategy.
+func (s DPConverted) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if p.AtomicPhases {
+		return nil, fmt.Errorf("strategy: DP-Converted cannot partition atomic-phase %s", p.AppName)
+	}
+	// Step 1: the static ratio, from the fused model (multi-kernel)
+	// or the single kernel.
+	var dec glinda.Decision
+	if len(p.Unique) == 1 {
+		d, err := glinda.Analyze(plat, p.Dir, p.Unique[0], 1, opts.Glinda)
+		if err != nil {
+			return nil, err
+		}
+		dec = d
+	} else {
+		est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.Glinda)
+		if err != nil {
+			return nil, err
+		}
+		dec = glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.Glinda)
+	}
+
+	// Step 2: ratio -> instance counts.
+	m := opts.chunks(plat)
+	_, l := ConvertRatio(dec.Beta, m)
+
+	// Step 3: pin the instance grid accordingly.
+	var plan task.Plan
+	for i, ph := range p.Phases {
+		n := ph.Kernel.Size
+		chunk := (n + int64(m) - 1) / int64(m)
+		ci := 0
+		for at := int64(0); at < n; at += chunk {
+			end := at + chunk
+			if end > n {
+				end = n
+			}
+			pin := 0
+			if ci < l {
+				pin = 1
+			}
+			plan.Submit(ph.Kernel, at, end, pin, ci)
+			ci++
+		}
+		if ph.SyncAfter && i < len(p.Phases)-1 {
+			plan.Barrier()
+		}
+	}
+	plan.Barrier()
+
+	out, err := execute(s.Name(), p, plat, sched.NewStatic(), &plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Decisions = map[string]glinda.Decision{"": dec}
+	return out, nil
+}

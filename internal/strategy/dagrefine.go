@@ -1,0 +1,70 @@
+package strategy
+
+import (
+	"fmt"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/classify"
+	"heteropart/internal/device"
+	"heteropart/internal/rt"
+	"heteropart/internal/sched"
+	"heteropart/internal/task"
+)
+
+// DPRefinedDAG explores the paper's future-work direction for the
+// MK-DAG class (Section VII: "refine the classification of MK-DAG
+// applications for a better selection of their preferred
+// partitioning", and Section III-C: "It may be possible to apply
+// static partitioning to certain kernel(s)"): selected kernels are
+// statically mapped to a device while the rest stay under the
+// performance-aware dynamic scheduler. As the paper notes, this "may
+// or may not bring in performance improvement (which is
+// application-specific)" — the dagrefine experiment measures it.
+type DPRefinedDAG struct {
+	// Pins maps kernel names to device IDs; unlisted kernels are
+	// scheduled dynamically.
+	Pins map[string]int
+}
+
+// Name implements Strategy.
+func (DPRefinedDAG) Name() string { return "DP-Refined" }
+
+// Applicable implements Strategy: the MK-DAG class only.
+func (DPRefinedDAG) Applicable(cls classify.Class, _ bool) bool {
+	return cls == classify.MKDAG
+}
+
+// Run implements Strategy.
+func (s DPRefinedDAG) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if !p.AtomicPhases {
+		return nil, fmt.Errorf("strategy: DP-Refined targets atomic-phase DAG problems, %s is chunkable", p.AppName)
+	}
+	for k, dev := range s.Pins {
+		if dev < 0 || dev > len(plat.Accels) {
+			return nil, fmt.Errorf("strategy: kernel %q pinned to unknown device %d", k, dev)
+		}
+	}
+	buildPlan := func() *task.Plan {
+		var plan task.Plan
+		for _, ph := range p.Phases {
+			pin := task.Unpinned
+			if dev, ok := s.Pins[ph.Kernel.Name]; ok {
+				pin = dev
+			}
+			plan.Submit(ph.Kernel, 0, ph.Kernel.Size, pin, -1)
+		}
+		plan.Barrier()
+		return &plan
+	}
+
+	perf := sched.NewPerf()
+	if !opts.NoSeed {
+		trainer := sched.NewPerf()
+		if _, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer}, buildPlan(), p.Dir); err != nil {
+			return nil, err
+		}
+		p.Dir.Reset()
+		perf.Seed(trainer.Snapshot())
+	}
+	return execute(s.Name(), p, plat, perf, buildPlan(), opts)
+}

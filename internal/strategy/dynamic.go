@@ -1,0 +1,60 @@
+package strategy
+
+import (
+	"heteropart/internal/apps"
+	"heteropart/internal/classify"
+	"heteropart/internal/device"
+	"heteropart/internal/rt"
+	"heteropart/internal/sched"
+)
+
+// DPDep is the DP-Dep strategy: dynamic partitioning with the
+// breadth-first, dependency-chain-aware OmpSs scheduler. Usable for
+// every class; blind to device capability (Section III-C).
+type DPDep struct{}
+
+// Name implements Strategy.
+func (DPDep) Name() string { return "DP-Dep" }
+
+// Applicable implements Strategy: all classes.
+func (DPDep) Applicable(classify.Class, bool) bool { return true }
+
+// Run implements Strategy.
+func (s DPDep) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	plan := dynamicPhasePlan(p, opts.chunks(plat))
+	return execute(s.Name(), p, plat, sched.NewDep(), plan, opts)
+}
+
+// DPPerf is the DP-Perf strategy: dynamic partitioning with the
+// performance-aware scheduler. Usable for every class.
+//
+// The paper's measurements exclude DP-Perf's fixed profiling phase
+// ("each device gets 3 task instances to make the runtime learn",
+// Section IV-A3). Run reproduces that by default: a training execution
+// (timing-only, discarded) learns the per-kernel per-device rates,
+// then the measured run starts from the trained profile. Options.NoSeed
+// keeps the profiling phase inside the measurement instead.
+type DPPerf struct{}
+
+// Name implements Strategy.
+func (DPPerf) Name() string { return "DP-Perf" }
+
+// Applicable implements Strategy: all classes.
+func (DPPerf) Applicable(classify.Class, bool) bool { return true }
+
+// Run implements Strategy.
+func (s DPPerf) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	perf := sched.NewPerf()
+	if !opts.NoSeed {
+		trainer := sched.NewPerf()
+		trainPlan := dynamicPhasePlan(p, opts.chunks(plat))
+		_, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer}, trainPlan, p.Dir)
+		if err != nil {
+			return nil, err
+		}
+		p.Dir.Reset()
+		perf.Seed(trainer.Snapshot())
+	}
+	plan := dynamicPhasePlan(p, opts.chunks(plat))
+	return execute(s.Name(), p, plat, perf, plan, opts)
+}

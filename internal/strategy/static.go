@@ -1,0 +1,273 @@
+package strategy
+
+import (
+	"fmt"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/classify"
+	"heteropart/internal/device"
+	"heteropart/internal/glinda"
+	"heteropart/internal/sched"
+	"heteropart/internal/task"
+)
+
+// SPSingle is the SP-Single strategy: Glinda determines one static
+// partitioning for the (single) kernel; for SK-Loop the partitioning
+// of one iteration is reused for all iterations (Section III-C).
+type SPSingle struct{}
+
+// Name implements Strategy.
+func (SPSingle) Name() string { return "SP-Single" }
+
+// Applicable implements Strategy: SK-One and SK-Loop.
+func (SPSingle) Applicable(cls classify.Class, _ bool) bool {
+	return cls == classify.SKOne || cls == classify.SKLoop
+}
+
+// Run implements Strategy. On platforms with several accelerators the
+// partitioning generalizes to Glinda's water-filling split (the
+// "one or more accelerators, identical or non-identical" claim of
+// Section II-A): each accelerator receives a contiguous share, the
+// host takes the rest.
+func (s SPSingle) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if len(p.Unique) != 1 {
+		return nil, fmt.Errorf("strategy: SP-Single needs a single kernel, %s has %d", p.AppName, len(p.Unique))
+	}
+	if len(plat.Accels) > 1 {
+		return s.runMulti(p, plat, opts)
+	}
+	if ratio := glinda.ImbalanceRatio(p.Unique[0], imbalanceSample(p.Unique[0])); ratio > ImbalanceThreshold {
+		return s.runImbalanced(p, plat, opts)
+	}
+	dec, err := glinda.Analyze(plat, p.Dir, p.Unique[0], 1, opts.Glinda)
+	if err != nil {
+		return nil, err
+	}
+	plan := staticPhasePlan(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
+	out, err := execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Decisions = map[string]glinda.Decision{"": dec}
+	return out, nil
+}
+
+// ImbalanceThreshold is the head/tail per-element cost ratio above
+// which SP-Single switches to the weighted pipeline (Glinda ICS'14).
+const ImbalanceThreshold = 1.5
+
+func imbalanceSample(k *task.Kernel) int64 {
+	s := k.Size / 20
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// runImbalanced partitions an imbalanced single kernel: the
+// accelerator takes the weight-balanced prefix, and the host range is
+// cut into m weight-equal chunks so every worker thread finishes
+// together (the ICS'14 "matching imbalanced workloads" pipeline).
+func (s SPSingle) runImbalanced(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	k := p.Unique[0]
+	dec, err := glinda.AnalyzeImbalanced(plat, p.Dir, k, 1, opts.Glinda)
+	if err != nil {
+		return nil, err
+	}
+	m := opts.chunks(plat)
+	var plan task.Plan
+	for i, ph := range p.Phases {
+		if dec.Split > 0 {
+			plan.Submit(ph.Kernel, 0, dec.Split, 1, -1)
+		}
+		ci := 0
+		for _, iv := range dec.CutWeighted(dec.Split, ph.Kernel.Size, m) {
+			plan.Submit(ph.Kernel, iv.Lo, iv.Hi, 0, ci)
+			ci++
+		}
+		if ph.SyncAfter && i < len(p.Phases)-1 {
+			plan.Barrier()
+		}
+	}
+	plan.Barrier()
+	out, err := execute(s.Name(), p, plat, sched.NewStatic(), &plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Decisions = map[string]glinda.Decision{"": {
+		Config: glinda.Hybrid,
+		Beta:   dec.GPUWeightShare,
+		NG:     dec.Split,
+		NC:     k.Size - dec.Split,
+	}}
+	return out, nil
+}
+
+// runMulti partitions a single kernel across every accelerator plus
+// the host via the water-filling solver.
+func (s SPSingle) runMulti(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	k := p.Unique[0]
+	ests := make([]glinda.Estimate, len(plat.Accels))
+	var rc float64
+	for i := range plat.Accels {
+		est, err := glinda.Profile(plat, p.Dir, k, i+1, opts.Glinda)
+		if err != nil {
+			return nil, err
+		}
+		rc = est.Rc
+		ests[i] = est
+	}
+	shares, err := glinda.SolveMulti(rc, ests, k.Size)
+	if err != nil {
+		return nil, err
+	}
+	// Warp-round each accelerator share (the host absorbs slack).
+	var accelTotal int64
+	for i := range plat.Accels {
+		shares[i+1] = plat.Accels[i].RoundUpWarp(shares[i+1], k.Size-accelTotal)
+		accelTotal += shares[i+1]
+	}
+	shares[0] = k.Size - accelTotal
+
+	m := opts.chunks(plat)
+	var plan task.Plan
+	for i, ph := range p.Phases {
+		at := int64(0)
+		for a := range plat.Accels {
+			hi := at + shares[a+1]
+			if hi > at {
+				plan.Submit(ph.Kernel, at, hi, a+1, -1)
+			}
+			at = hi
+		}
+		splitHost(&plan, ph.Kernel, at, ph.Kernel.Size, m)
+		if ph.SyncAfter && i < len(p.Phases)-1 {
+			plan.Barrier()
+		}
+	}
+	plan.Barrier()
+	return execute(s.Name(), p, plat, sched.NewStatic(), &plan, opts)
+}
+
+// SPUnified is the SP-Unified strategy for MK-Seq and MK-Loop: all
+// kernels are regarded as one fused kernel sharing a single
+// partitioning point, so data stays resident per device with one
+// transfer in before the first kernel and one out after the last.
+// For MK-Loop the partitioning is determined for one iteration and the
+// transfer term is excluded (all iterations but the first and last
+// move no data — Section IV-B4).
+type SPUnified struct{}
+
+// Name implements Strategy.
+func (SPUnified) Name() string { return "SP-Unified" }
+
+// Applicable implements Strategy: the multi-kernel sequence classes.
+func (SPUnified) Applicable(cls classify.Class, _ bool) bool {
+	return cls == classify.MKSeq || cls == classify.MKLoop
+}
+
+// Run implements Strategy.
+func (s SPUnified) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if p.AtomicPhases {
+		return nil, fmt.Errorf("strategy: SP-Unified cannot partition atomic-phase %s", p.AppName)
+	}
+	est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.Glinda)
+	if err != nil {
+		return nil, err
+	}
+	cls := p.Class()
+	if cls == classify.MKLoop {
+		// Steady-state iterations move no data: drop the transfer
+		// terms from the model (Section IV-B4 — "the data transfer is
+		// not profiled, because all the iterations except the first
+		// and the last ones do not have any data transfer").
+		est.InSlope, est.InConst = 0, 0
+		est.OutSlope, est.OutConst = 0, 0
+	}
+	dec := glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.Glinda)
+	plan := staticPhasePlan(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
+	out, err := execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Decisions = map[string]glinda.Decision{"": dec}
+	return out, nil
+}
+
+// SPVaried is the SP-Varied strategy for MK-Seq and MK-Loop: Glinda
+// runs per kernel, each kernel gets its own partitioning point, and a
+// global synchronization point follows every kernel so each kernel's
+// output is assembled at the host before the next starts — mandatory
+// for using this strategy, and the source of its transfer overhead
+// when the application did not need synchronization (Section III-C).
+type SPVaried struct{}
+
+// Name implements Strategy.
+func (SPVaried) Name() string { return "SP-Varied" }
+
+// Applicable implements Strategy: the multi-kernel sequence classes.
+func (SPVaried) Applicable(cls classify.Class, _ bool) bool {
+	return cls == classify.MKSeq || cls == classify.MKLoop
+}
+
+// Run implements Strategy.
+func (s SPVaried) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if p.AtomicPhases {
+		return nil, fmt.Errorf("strategy: SP-Varied cannot partition atomic-phase %s", p.AppName)
+	}
+	decs := make(map[string]glinda.Decision, len(p.Unique))
+	for _, k := range p.Unique {
+		dec, err := glinda.Analyze(plat, p.Dir, k, 1, opts.Glinda)
+		if err != nil {
+			return nil, err
+		}
+		decs[k.Name] = dec
+	}
+	force := true
+	plan := staticPhasePlan(p, func(ph apps.Phase) int64 {
+		return decs[ph.Kernel.Name].NG
+	}, opts.chunks(plat), &force)
+	out, err := execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Decisions = decs
+	return out, nil
+}
+
+// OnlyGPU runs the whole workload on the accelerator (the paper's
+// Only-GPU reference: the kernel in OpenCL on the GPU).
+type OnlyGPU struct{}
+
+// Name implements Strategy.
+func (OnlyGPU) Name() string { return "Only-GPU" }
+
+// Applicable implements Strategy: a reference configuration for every
+// class.
+func (OnlyGPU) Applicable(classify.Class, bool) bool { return true }
+
+// Run implements Strategy.
+func (s OnlyGPU) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if len(plat.Accels) == 0 {
+		return nil, fmt.Errorf("strategy: Only-GPU needs an accelerator")
+	}
+	plan := singleDevicePlan(p, 1, opts.chunks(plat))
+	return execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
+}
+
+// OnlyCPU runs the whole workload on the host's worker threads (the
+// paper's Only-CPU reference: OmpSs on the CPU).
+type OnlyCPU struct{}
+
+// Name implements Strategy.
+func (OnlyCPU) Name() string { return "Only-CPU" }
+
+// Applicable implements Strategy: a reference configuration for every
+// class.
+func (OnlyCPU) Applicable(classify.Class, bool) bool { return true }
+
+// Run implements Strategy.
+func (s OnlyCPU) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	plan := singleDevicePlan(p, 0, opts.chunks(plat))
+	return execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
+}

@@ -1,0 +1,213 @@
+// Package strategy implements the paper's five partitioning strategies
+// (Section III-C) plus the Only-CPU / Only-GPU reference
+// configurations:
+//
+//	SP-Single   static split of a single kernel via Glinda
+//	SP-Unified  one static split shared by all kernels (fused model)
+//	SP-Varied   per-kernel static splits, sync after every kernel
+//	DP-Dep      dynamic, breadth-first + dependency-chain affinity
+//	DP-Perf     dynamic, performance-aware earliest-finish
+//
+// A strategy turns a problem into an execution plan (instances with
+// pins or a scheduling policy) and runs it on the simulated platform,
+// including any profiling passes its definition requires.
+package strategy
+
+import (
+	"fmt"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/classify"
+	"heteropart/internal/device"
+	"heteropart/internal/glinda"
+	"heteropart/internal/rt"
+	"heteropart/internal/sched"
+	"heteropart/internal/task"
+	"heteropart/internal/trace"
+)
+
+// Options tunes an execution.
+type Options struct {
+	// Glinda configures the static-partitioning pipeline.
+	Glinda glinda.Config
+	// Chunks is the number of task instances per kernel for dynamic
+	// strategies and for the CPU side of static strategies (the
+	// paper's m); 0 uses the platform's CPU thread count.
+	Chunks int
+	// Compute executes real kernels (and Verify can then be called).
+	Compute bool
+	// CollectTrace attaches a trace to the measured run.
+	CollectTrace bool
+	// NoSeed disables DP-Perf's excluded training pass, exposing the
+	// raw profiling phase in the measurement.
+	NoSeed bool
+}
+
+func (o Options) chunks(plat *device.Platform) int {
+	if o.Chunks > 0 {
+		return o.Chunks
+	}
+	return plat.CPUThreads()
+}
+
+// Outcome is a strategy's measured execution.
+type Outcome struct {
+	Strategy string
+	Result   *rt.Result
+	Trace    *trace.Trace
+	// Decisions holds the Glinda decision per distinct kernel for
+	// static strategies (one entry, keyed "", for SP-Single and
+	// SP-Unified).
+	Decisions map[string]glinda.Decision
+}
+
+// GPURatio is the measured accelerator share of the computation.
+func (o *Outcome) GPURatio() float64 { return o.Result.GPURatio() }
+
+// Strategy is one partitioning strategy.
+type Strategy interface {
+	// Name is the paper's strategy name.
+	Name() string
+	// Applicable reports whether the strategy suits an application
+	// class (Table I). needsSync distinguishes the MK-Seq/MK-Loop
+	// sub-cases.
+	Applicable(cls classify.Class, needsSync bool) bool
+	// Run executes the problem end to end and returns the measured
+	// outcome. The problem's directory is left in its final state.
+	Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error)
+}
+
+// All returns every strategy: the five of Section III-C, the two
+// single-device references, and the Section-V conversion.
+func All() []Strategy {
+	return []Strategy{
+		SPSingle{}, SPUnified{}, SPVaried{}, DPPerf{}, DPDep{},
+		OnlyGPU{}, OnlyCPU{}, DPConverted{},
+	}
+}
+
+// Partitioning returns only the five partitioning strategies.
+func Partitioning() []Strategy {
+	return []Strategy{SPSingle{}, SPUnified{}, SPVaried{}, DPPerf{}, DPDep{}}
+}
+
+// ByName finds a strategy.
+func ByName(name string) (Strategy, error) {
+	for _, s := range All() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("strategy: unknown strategy %q", name)
+}
+
+// execute runs a plan and wraps the outcome.
+func execute(name string, p *apps.Problem, plat *device.Platform, s sched.Scheduler,
+	plan *task.Plan, opts Options) (*Outcome, error) {
+	var tr *trace.Trace
+	if opts.CollectTrace {
+		tr = &trace.Trace{}
+	}
+	res, err := rt.Execute(rt.Config{
+		Platform:  plat,
+		Scheduler: s,
+		Trace:     tr,
+		Compute:   opts.Compute,
+	}, plan, p.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("strategy %s on %s: %w", name, p.AppName, err)
+	}
+	return &Outcome{Strategy: name, Result: res, Trace: tr}, nil
+}
+
+// splitHost submits [lo,hi) of a kernel as m host-pinned chunks, using
+// the chunk index within the kernel as the dependency chain.
+func splitHost(plan *task.Plan, k *task.Kernel, lo, hi int64, m int) {
+	if hi <= lo {
+		return
+	}
+	total := hi - lo
+	chunk := (total + int64(m) - 1) / int64(m)
+	ci := 0
+	for at := lo; at < hi; at += chunk {
+		end := at + chunk
+		if end > hi {
+			end = hi
+		}
+		plan.Submit(k, at, end, 0, ci)
+		ci++
+	}
+}
+
+// staticPhasePlan builds a fully pinned plan: for every phase, the GPU
+// takes [0, ng) as one instance and the host takes [ng, n) in m
+// chunks. barrierAfter overrides the phase's own sync flag when
+// non-nil.
+func staticPhasePlan(p *apps.Problem, ngFor func(ph apps.Phase) int64, m int,
+	forceBarrier *bool) *task.Plan {
+	var plan task.Plan
+	for i, ph := range p.Phases {
+		ng := ngFor(ph)
+		if ng > 0 {
+			plan.Submit(ph.Kernel, 0, ng, 1, -1)
+		}
+		splitHost(&plan, ph.Kernel, ng, ph.Kernel.Size, m)
+		sync := ph.SyncAfter
+		if forceBarrier != nil {
+			sync = *forceBarrier
+		}
+		if sync && i < len(p.Phases)-1 {
+			plan.Barrier()
+		}
+	}
+	plan.Barrier() // final taskwait: results on the host
+	return &plan
+}
+
+// dynamicPhasePlan builds an unpinned plan: every phase split into m
+// chunks (or one atomic instance for DAG problems), chunk index as the
+// chain key, barriers per the problem's sync flags.
+func dynamicPhasePlan(p *apps.Problem, m int) *task.Plan {
+	var plan task.Plan
+	for i, ph := range p.Phases {
+		if p.AtomicPhases {
+			plan.Submit(ph.Kernel, 0, ph.Kernel.Size, task.Unpinned, -1)
+		} else {
+			n := ph.Kernel.Size
+			chunk := (n + int64(m) - 1) / int64(m)
+			ci := 0
+			for at := int64(0); at < n; at += chunk {
+				end := at + chunk
+				if end > n {
+					end = n
+				}
+				plan.Submit(ph.Kernel, at, end, task.Unpinned, ci)
+				ci++
+			}
+		}
+		if ph.SyncAfter && i < len(p.Phases)-1 {
+			plan.Barrier()
+		}
+	}
+	plan.Barrier()
+	return &plan
+}
+
+// singleDevicePlan pins every phase whole to one device (Only-CPU uses
+// m host chunks so all worker threads participate, as the paper's
+// Only-CPU does).
+func singleDevicePlan(p *apps.Problem, dev, m int) *task.Plan {
+	var plan task.Plan
+	for i, ph := range p.Phases {
+		if dev == 0 && !p.AtomicPhases {
+			splitHost(&plan, ph.Kernel, 0, ph.Kernel.Size, m)
+		} else {
+			plan.Submit(ph.Kernel, 0, ph.Kernel.Size, dev, -1)
+		}
+		if ph.SyncAfter && i < len(p.Phases)-1 {
+			plan.Barrier()
+		}
+	}
+	plan.Barrier()
+	return &plan
+}

@@ -1,0 +1,274 @@
+package strategy
+
+import (
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/classify"
+	"heteropart/internal/device"
+)
+
+// smallProblem builds a compute-mode test problem for an app.
+func smallProblem(t *testing.T, name string, sync apps.SyncMode) *apps.Problem {
+	t.Helper()
+	sizes := map[string]struct {
+		n     int64
+		iters int
+	}{
+		"MatrixMul":    {48, 1},
+		"BlackScholes": {5000, 1},
+		"Nbody":        {256, 2},
+		"HotSpot":      {32, 2},
+		"STREAM-Seq":   {4096, 1},
+		"STREAM-Loop":  {2048, 2},
+		"Cholesky":     {64, 1},
+		"Convolution":  {32, 1},
+		"Triangular":   {512, 1},
+	}
+	cfg := sizes[name]
+	app, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Build(apps.Variant{N: cfg.n, Iters: cfg.iters, Sync: sync, Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEveryApplicableStrategyComputesCorrectly(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	appNames := []string{"MatrixMul", "BlackScholes", "Nbody", "HotSpot",
+		"STREAM-Seq", "STREAM-Loop", "Cholesky", "Convolution", "Triangular"}
+	for _, appName := range appNames {
+		for _, syncMode := range []apps.SyncMode{apps.SyncNone, apps.SyncForced} {
+			probe := smallProblem(t, appName, syncMode)
+			cls := probe.Class()
+			needsSync := probe.NeedsSync()
+			for _, s := range All() {
+				if !s.Applicable(cls, needsSync) {
+					continue
+				}
+				if probe.AtomicPhases && s.Name() == "DP-Converted" {
+					continue
+				}
+				p := smallProblem(t, appName, syncMode)
+				out, err := s.Run(p, plat, Options{Compute: true})
+				if err != nil {
+					t.Fatalf("%s / %s (sync=%v): %v", appName, s.Name(), syncMode, err)
+				}
+				if err := p.Verify(); err != nil {
+					t.Fatalf("%s / %s (sync=%v): wrong result: %v", appName, s.Name(), syncMode, err)
+				}
+				if out.Result.Makespan <= 0 {
+					t.Fatalf("%s / %s: zero makespan", appName, s.Name())
+				}
+				if !p.Dir.HostWhole() {
+					t.Fatalf("%s / %s: host not whole after final taskwait", appName, s.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestApplicabilityMatchesTableI(t *testing.T) {
+	type row struct {
+		cls  classify.Class
+		sync bool
+		want map[string]bool
+	}
+	rows := []row{
+		{classify.SKOne, false, map[string]bool{
+			"SP-Single": true, "SP-Unified": false, "SP-Varied": false,
+			"DP-Perf": true, "DP-Dep": true}},
+		{classify.SKLoop, true, map[string]bool{
+			"SP-Single": true, "SP-Unified": false, "SP-Varied": false,
+			"DP-Perf": true, "DP-Dep": true}},
+		{classify.MKSeq, false, map[string]bool{
+			"SP-Single": false, "SP-Unified": true, "SP-Varied": true,
+			"DP-Perf": true, "DP-Dep": true}},
+		{classify.MKLoop, true, map[string]bool{
+			"SP-Single": false, "SP-Unified": true, "SP-Varied": true,
+			"DP-Perf": true, "DP-Dep": true}},
+		{classify.MKDAG, false, map[string]bool{
+			"SP-Single": false, "SP-Unified": false, "SP-Varied": false,
+			"DP-Perf": true, "DP-Dep": true}},
+	}
+	for _, r := range rows {
+		for _, s := range Partitioning() {
+			if got := s.Applicable(r.cls, r.sync); got != r.want[s.Name()] {
+				t.Errorf("%s applicable to %v = %v, want %v", s.Name(), r.cls, got, r.want[s.Name()])
+			}
+		}
+	}
+}
+
+func TestOnlyDeviceRatios(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	p := smallProblem(t, "BlackScholes", apps.SyncDefault)
+	out, err := OnlyGPU{}.Run(p, plat, Options{Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GPURatio() != 1 {
+		t.Fatalf("Only-GPU ratio = %v", out.GPURatio())
+	}
+	p2 := smallProblem(t, "BlackScholes", apps.SyncDefault)
+	out2, err := OnlyCPU{}.Run(p2, plat, Options{Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.GPURatio() != 0 {
+		t.Fatalf("Only-CPU ratio = %v", out2.GPURatio())
+	}
+	// Only-CPU uses all m workers: m instances on device 0.
+	if out2.Result.InstancesByDevice[0] != 4 {
+		t.Fatalf("Only-CPU instances = %v, want 4 host chunks", out2.Result.InstancesByDevice)
+	}
+}
+
+func TestSPSingleRejectsMultiKernel(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	p := smallProblem(t, "STREAM-Seq", apps.SyncNone)
+	if _, err := (SPSingle{}).Run(p, plat, Options{Compute: true}); err == nil {
+		t.Fatal("SP-Single accepted a multi-kernel app")
+	}
+}
+
+func TestSPUnifiedSingleTransferPair(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	p := smallProblem(t, "STREAM-Seq", apps.SyncNone)
+	out, err := SPUnified{}.Run(p, plat, Options{Compute: true, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The GPU partition must move: array a in (cold read) and the
+	// written unions of a, b, c out at the final flush. That is 4
+	// transfers total — no inter-kernel traffic.
+	if out.Result.TransferCount > 4 {
+		t.Fatalf("SP-Unified made %d transfers, want <= 4", out.Result.TransferCount)
+	}
+	dec := out.Decisions[""]
+	if dec.Config != 0 && dec.NG == 0 {
+		t.Fatalf("unified decision = %+v", dec)
+	}
+}
+
+func TestSPVariedTransfersPerKernel(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	pU := smallProblem(t, "STREAM-Seq", apps.SyncNone)
+	uni, err := SPUnified{}.Run(pU, plat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pV := smallProblem(t, "STREAM-Seq", apps.SyncNone)
+	varied, err := SPVaried{}.Run(pV, plat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(varied.Decisions) != 4 {
+		t.Fatalf("SP-Varied decisions = %d, want 4 kernels", len(varied.Decisions))
+	}
+	if varied.Result.TransferCount <= uni.Result.TransferCount {
+		t.Fatalf("SP-Varied transfers (%d) not above SP-Unified (%d)",
+			varied.Result.TransferCount, uni.Result.TransferCount)
+	}
+}
+
+func TestDPPerfSeedingRemovesProfilingPenalty(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	// Use a GPU-friendly compute kernel where CPU warm-up instances
+	// are expensive: the seeded run must be faster or equal.
+	p1 := smallProblem(t, "MatrixMul", apps.SyncDefault)
+	seeded, err := DPPerf{}.Run(p1, plat, Options{Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := smallProblem(t, "MatrixMul", apps.SyncDefault)
+	raw, err := DPPerf{}.Run(p2, plat, Options{Compute: true, NoSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Result.Makespan > raw.Result.Makespan {
+		t.Fatalf("seeded run (%v) slower than unseeded (%v)",
+			seeded.Result.Makespan, raw.Result.Makespan)
+	}
+}
+
+func TestDynamicStrategiesCountDecisions(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	p := smallProblem(t, "STREAM-Seq", apps.SyncNone)
+	out, err := DPDep{}.Run(p, plat, Options{Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Decisions != 16 { // 4 kernels x 4 chunks
+		t.Fatalf("decisions = %d, want 16", out.Result.Decisions)
+	}
+}
+
+func TestConvertRatio(t *testing.T) {
+	cases := []struct {
+		beta         float64
+		m            int
+		wantC, wantG int
+	}{
+		{0, 12, 12, 0},
+		{1, 12, 0, 12},
+		{0.5, 12, 6, 6},
+		{0.44, 12, 7, 5},
+		{0.9, 10, 1, 9},
+		{-1, 10, 10, 0},
+		{2, 10, 0, 10},
+		{0.5, 0, 0, 0},
+	}
+	for _, c := range cases {
+		gotC, gotG := ConvertRatio(c.beta, c.m)
+		if gotC != c.wantC || gotG != c.wantG {
+			t.Errorf("ConvertRatio(%v,%d) = %d,%d want %d,%d", c.beta, c.m, gotC, gotG, c.wantC, c.wantG)
+		}
+	}
+}
+
+func TestDPConvertedCorrectAndCloseToStatic(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	p := smallProblem(t, "BlackScholes", apps.SyncDefault)
+	out, err := DPConverted{}.Run(p, plat, Options{Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[""].Beta <= 0 {
+		t.Fatal("conversion lost the glinda decision")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"SP-Single", "SP-Unified", "SP-Varied", "DP-Dep", "DP-Perf", "Only-CPU", "Only-GPU"} {
+		s, err := ByName(want)
+		if err != nil || s.Name() != want {
+			t.Fatalf("ByName(%q) = %v, %v", want, s, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestChunksOptionControlsGranularity(t *testing.T) {
+	plat := device.PaperPlatform(4)
+	p := smallProblem(t, "BlackScholes", apps.SyncDefault)
+	out, err := DPDep{}.Run(p, plat, Options{Compute: true, Chunks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Result.Instances; got != 8 {
+		t.Fatalf("instances = %d, want 8", got)
+	}
+}

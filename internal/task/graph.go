@@ -1,0 +1,108 @@
+package task
+
+import "heteropart/internal/mem"
+
+// BuildDeps computes the data-dependency edges of a plan, mirroring the
+// OmpSs runtime's dependence analysis: for each newly submitted
+// instance, overlap its accesses against earlier instances' accesses on
+// the same buffer and add RAW, WAR and WAW edges. Barriers order
+// everything before them ahead of everything after them, so dependence
+// tracking restarts at each barrier (the runtime enforces the barrier
+// itself).
+//
+// Edges are deduplicated; Deps and Succs lists are in submission order.
+func BuildDeps(p *Plan) {
+	type past struct {
+		inst *Instance
+		acc  Access
+	}
+	// Per-buffer access history since the last barrier.
+	hist := make(map[int][]past)
+
+	for _, in := range p.Instances() {
+		in.Deps = nil
+		in.Succs = nil
+	}
+
+	for _, op := range p.Ops {
+		if op.Kind == OpBarrier {
+			hist = make(map[int][]past)
+			continue
+		}
+		in := op.Inst
+		depSet := make(map[int]bool)
+		for _, a := range in.Accesses {
+			for _, h := range hist[a.Buf.ID] {
+				if h.inst == in || depSet[h.inst.ID] {
+					continue
+				}
+				if !a.Interval.Overlaps(h.acc.Interval) {
+					continue
+				}
+				// RAW: we read what they wrote. WAW: we write what
+				// they wrote. WAR: we write what they read.
+				conflict := (a.Mode.Reads() && h.acc.Mode.Writes()) ||
+					(a.Mode.Writes() && h.acc.Mode.Writes()) ||
+					(a.Mode.Writes() && h.acc.Mode.Reads())
+				if conflict {
+					depSet[h.inst.ID] = true
+					in.Deps = append(in.Deps, h.inst)
+					h.inst.Succs = append(h.inst.Succs, in)
+				}
+			}
+		}
+		for _, a := range in.Accesses {
+			hist[a.Buf.ID] = append(hist[a.Buf.ID], past{inst: in, acc: a})
+		}
+	}
+}
+
+// CriticalPathLen returns the longest dependency chain length (in
+// instances) of a plan whose dependencies have been built. Barriers are
+// not counted.
+func CriticalPathLen(p *Plan) int {
+	depth := make(map[int]int)
+	longest := 0
+	for _, in := range p.Instances() { // submission order is topological
+		d := 1
+		for _, pre := range in.Deps {
+			if depth[pre.ID]+1 > d {
+				d = depth[pre.ID] + 1
+			}
+		}
+		depth[in.ID] = d
+		if d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+// IsDAGAcyclic verifies the built dependence relation is acyclic (it
+// must be, because edges only point from earlier to later submissions).
+// Exposed for property tests.
+func IsDAGAcyclic(p *Plan) bool {
+	for _, in := range p.Instances() {
+		for _, d := range in.Deps {
+			if d.ID >= in.ID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteFootprint returns the union of regions an instance writes, per
+// buffer ID.
+func WriteFootprint(in *Instance) map[int]mem.Set {
+	out := make(map[int]mem.Set)
+	for _, a := range in.Accesses {
+		if !a.Mode.Writes() {
+			continue
+		}
+		s := out[a.Buf.ID]
+		s.Add(a.Interval)
+		out[a.Buf.ID] = s
+	}
+	return out
+}

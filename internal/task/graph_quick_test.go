@@ -1,0 +1,116 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+
+	"heteropart/internal/mem"
+)
+
+// oracleDeps recomputes the dependence relation by brute force:
+// instance j depends on instance i (i < j, same barrier window) iff
+// some access pair on the same buffer overlaps and at least one
+// writes.
+func oracleDeps(p *Plan) map[[2]int]bool {
+	edges := make(map[[2]int]bool)
+	window := 0
+	windows := make(map[int]int)
+	for _, op := range p.Ops {
+		if op.Kind == OpBarrier {
+			window++
+			continue
+		}
+		windows[op.Inst.ID] = window
+	}
+	insts := p.Instances()
+	for j := 1; j < len(insts); j++ {
+		for i := 0; i < j; i++ {
+			a, b := insts[i], insts[j]
+			if windows[a.ID] != windows[b.ID] {
+				continue
+			}
+			for _, aa := range a.Accesses {
+				for _, ba := range b.Accesses {
+					if aa.Buf.ID != ba.Buf.ID || !aa.Interval.Overlaps(ba.Interval) {
+						continue
+					}
+					if aa.Mode.Writes() || ba.Mode.Writes() {
+						edges[[2]int{a.ID, b.ID}] = true
+					}
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// TestQuickBuildDepsMatchesOracle pits BuildDeps against the brute-
+// force oracle over randomized plans.
+func TestQuickBuildDepsMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 200; trial++ {
+		dir := mem.NewDirectory(1)
+		nbufs := 1 + rng.Intn(3)
+		bufs := make([]*mem.Buffer, nbufs)
+		for i := range bufs {
+			bufs[i] = dir.Register("b", 256, 4)
+		}
+		modes := []Mode{Read, Write, ReadWrite}
+
+		var p Plan
+		nops := 3 + rng.Intn(15)
+		for o := 0; o < nops; o++ {
+			if rng.Intn(6) == 0 {
+				p.Barrier()
+				continue
+			}
+			// Kernel with 1-2 random accesses.
+			var accs []Access
+			for a := 0; a < 1+rng.Intn(2); a++ {
+				lo := rng.Int63n(200)
+				accs = append(accs, Access{
+					Buf:      bufs[rng.Intn(nbufs)],
+					Interval: mem.Interval{Lo: lo, Hi: lo + 1 + rng.Int63n(56)},
+					Mode:     modes[rng.Intn(3)],
+				})
+			}
+			frozen := append([]Access(nil), accs...)
+			k := &Kernel{
+				Name: "k", Size: 256,
+				Accesses: func(lo, hi int64) []Access { return frozen },
+			}
+			p.Submit(k, 0, 256, Unpinned, -1)
+		}
+
+		BuildDeps(&p)
+		want := oracleDeps(&p)
+
+		got := make(map[[2]int]bool)
+		for _, in := range p.Instances() {
+			for _, d := range in.Deps {
+				got[[2]int{d.ID, in.ID}] = true
+			}
+		}
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("trial %d: missing edge %v", trial, e)
+			}
+		}
+		for e := range got {
+			if !want[e] {
+				t.Fatalf("trial %d: spurious edge %v", trial, e)
+			}
+		}
+		// Succs must mirror Deps.
+		for _, in := range p.Instances() {
+			for _, s := range in.Succs {
+				if !got[[2]int{in.ID, s.ID}] {
+					t.Fatalf("trial %d: succ %v->%v without dep", trial, in.ID, s.ID)
+				}
+			}
+		}
+		if !IsDAGAcyclic(&p) {
+			t.Fatalf("trial %d: cycle", trial)
+		}
+	}
+}

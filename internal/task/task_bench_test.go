@@ -1,0 +1,59 @@
+package task
+
+import (
+	"testing"
+
+	"heteropart/internal/mem"
+)
+
+// BenchmarkBuildDeps measures dependence analysis over a pipeline of
+// kernels with per-chunk chains (the STREAM-like shape).
+func BenchmarkBuildDeps(b *testing.B) {
+	dir := mem.NewDirectory(2)
+	bufA := dir.Register("a", 1<<20, 4)
+	bufB := dir.Register("b", 1<<20, 4)
+	mk := func(name string, in, out *mem.Buffer) *Kernel {
+		return &Kernel{
+			Name: name, Size: 1 << 20,
+			Accesses: func(lo, hi int64) []Access {
+				return []Access{
+					{Buf: in, Interval: mem.Interval{Lo: lo, Hi: hi}, Mode: Read},
+					{Buf: out, Interval: mem.Interval{Lo: lo, Hi: hi}, Mode: Write},
+				}
+			},
+		}
+	}
+	k1 := mk("k1", bufA, bufB)
+	k2 := mk("k2", bufB, bufA)
+	var p Plan
+	const chunks = 64
+	for rep := 0; rep < 8; rep++ {
+		for _, k := range []*Kernel{k1, k2} {
+			for c := int64(0); c < chunks; c++ {
+				sz := int64(1<<20) / chunks
+				p.Submit(k, c*sz, (c+1)*sz, Unpinned, int(c))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDeps(&p)
+	}
+}
+
+// BenchmarkPlanSubmit measures instance creation.
+func BenchmarkPlanSubmit(b *testing.B) {
+	dir := mem.NewDirectory(1)
+	buf := dir.Register("a", 1<<30, 4)
+	k := &Kernel{
+		Name: "k", Size: 1 << 30,
+		Accesses: func(lo, hi int64) []Access {
+			return []Access{{Buf: buf, Interval: mem.Interval{Lo: lo, Hi: hi}, Mode: ReadWrite}}
+		},
+	}
+	b.ResetTimer()
+	var p Plan
+	for i := 0; i < b.N; i++ {
+		p.Submit(k, 0, 1024, Unpinned, i)
+	}
+}

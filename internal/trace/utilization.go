@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heteropart/internal/sim"
+)
+
+// DeviceUtilization summarizes one device's activity over a run.
+type DeviceUtilization struct {
+	Device int
+	// Busy is the cumulative kernel-execution span (overlapping task
+	// spans on a multi-slot device are summed, so Busy can exceed the
+	// makespan).
+	Busy sim.Duration
+	// Tasks is the number of task instances executed.
+	Tasks int
+	// Elems is the total iteration-space elements computed.
+	Elems int64
+	// Utilization is Busy divided by the makespan, as a fraction
+	// (can exceed 1 on multi-slot devices).
+	Utilization float64
+}
+
+// Utilization computes per-device activity summaries over the trace
+// for a run of the given makespan, sorted by device ID.
+func (t *Trace) Utilization(makespan sim.Duration) []DeviceUtilization {
+	if t == nil || makespan <= 0 {
+		return nil
+	}
+	byDev := make(map[int]*DeviceUtilization)
+	for _, r := range t.Records {
+		if r.Kind != TaskRun {
+			continue
+		}
+		u := byDev[r.Device]
+		if u == nil {
+			u = &DeviceUtilization{Device: r.Device}
+			byDev[r.Device] = u
+		}
+		u.Busy += r.Span()
+		u.Tasks++
+		u.Elems += r.Elems
+	}
+	out := make([]DeviceUtilization, 0, len(byDev))
+	for _, u := range byDev {
+		u.Utilization = float64(u.Busy) / float64(makespan)
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// UtilizationReport renders the per-device summaries as text.
+func (t *Trace) UtilizationReport(makespan sim.Duration) string {
+	us := t.Utilization(makespan)
+	if len(us) == 0 {
+		return "(no task records)\n"
+	}
+	var b strings.Builder
+	for _, u := range us {
+		fmt.Fprintf(&b, "device %d: %4d tasks, %12d elems, busy %v (%.0f%% of makespan)\n",
+			u.Device, u.Tasks, u.Elems, u.Busy, 100*u.Utilization)
+	}
+	return b.String()
+}
+
+// LinkOccupancy sums transfer time per direction; with a duplex link
+// the two directions overlap, so they are reported separately.
+func (t *Trace) LinkOccupancy() (htod, dtoh sim.Duration) {
+	if t == nil {
+		return 0, 0
+	}
+	for _, r := range t.Records {
+		if r.Kind != Transfer {
+			continue
+		}
+		if r.ToDev {
+			htod += r.Span()
+		} else {
+			dtoh += r.Span()
+		}
+	}
+	return htod, dtoh
+}
