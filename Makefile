@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet experiments report examples clean
+.PHONY: all build test bench vet race-observe check experiments report examples clean
 
 all: build test
 
@@ -14,6 +14,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Race-check the observability layer (concurrent-safe by contract:
+# instruments are atomics, snapshots lock the registry).
+race-observe:
+	$(GO) test -race ./internal/metrics/... ./internal/trace/...
+
+# Everything a change must pass before merging.
+check: build vet test race-observe
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,6 +6,7 @@
 //
 //	hetsim -app HotSpot -strategy SP-Single
 //	hetsim -app STREAM-Seq -sync none -strategy DP-Perf -trace
+//	hetsim -app HotSpot -strategy DP-Perf -trace-out run.json -metrics
 package main
 
 import (
@@ -28,9 +29,15 @@ func main() {
 		iters     = flag.Int("iters", 0, "loop iterations (0 = paper default)")
 		chunks    = flag.Int("chunks", 0, "task instances per kernel (0 = m)")
 		showTrace = flag.Bool("trace", false, "print the execution trace (Gantt view)")
+		traceOut  = flag.String("trace-out", "", "write the execution trace to this file")
+		traceFmt  = flag.String("trace-format", "chrome", "trace file format: chrome (trace-event JSON for chrome://tracing / Perfetto) or csv")
+		showMx    = flag.Bool("metrics", false, "print the metrics registry (Prometheus text exposition)")
 		compute   = flag.Bool("compute", false, "execute real kernels and verify the result (small sizes)")
 	)
 	flag.Parse()
+	if *traceFmt != "chrome" && *traceFmt != "csv" {
+		fatal(fmt.Errorf("unknown -trace-format %q (want chrome or csv)", *traceFmt))
+	}
 
 	if *appName == "" || *stratName == "" {
 		fmt.Fprintln(os.Stderr, "hetsim: -app and -strategy are required")
@@ -56,8 +63,14 @@ func main() {
 	problem, err := app.Build(heteropart.Variant{N: *n, Iters: *iters, Sync: sync, Compute: *compute})
 	fatal(err)
 
+	var reg *heteropart.Metrics
+	if *showMx {
+		reg = heteropart.NewMetrics()
+	}
 	out, err := strat.Run(problem, plat, heteropart.Options{
-		Chunks: *chunks, Compute: *compute, CollectTrace: *showTrace,
+		Chunks: *chunks, Compute: *compute,
+		CollectTrace: *showTrace || *traceOut != "",
+		Metrics:      reg,
 	})
 	fatal(err)
 
@@ -110,6 +123,26 @@ func main() {
 		fmt.Printf("  link busy: %v to device, %v back\n", h, d)
 		fmt.Println("trace:")
 		fmt.Print(out.Trace.Gantt())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		if *traceFmt == "csv" {
+			err = out.Trace.WriteCSV(f)
+		} else {
+			err = out.Trace.ChromeTrace(f)
+		}
+		if err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		fatal(err)
+		fmt.Printf("trace written to %s (%s)\n", *traceOut, *traceFmt)
+	}
+	if reg != nil {
+		fmt.Println("metrics:")
+		fmt.Print(reg.Text(out.Result.Makespan))
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 		iters    = flag.Int("iters", 0, "loop iterations (0 = paper default)")
 		dry      = flag.Bool("dry", false, "analyze only, do not execute")
 		validate = flag.Bool("validate", false, "run every suitable strategy and check Table I's ranking")
+		showMx   = flag.Bool("metrics", false, "print the executed run's metrics registry (Prometheus text exposition)")
 	)
 	flag.Parse()
 
@@ -106,12 +107,20 @@ func main() {
 
 	strat, err := heteropart.StrategyByName(report.Best)
 	fatal(err)
-	out, err := strat.Run(problem, plat, heteropart.Options{})
+	var reg *heteropart.Metrics
+	if *showMx {
+		reg = heteropart.NewMetrics()
+	}
+	out, err := strat.Run(problem, plat, heteropart.Options{Metrics: reg})
 	fatal(err)
 	fmt.Printf("executed %s: %.1f ms, GPU share %.0f%%, %d transfers (%.0f MB out, %.0f MB back)\n",
 		out.Strategy, out.Result.Makespan.Milliseconds(), 100*out.GPURatio(),
 		out.Result.TransferCount,
 		float64(out.Result.HtoDBytes)/1e6, float64(out.Result.DtoHBytes)/1e6)
+	if reg != nil {
+		fmt.Println("metrics:")
+		fmt.Print(reg.Text(out.Result.Makespan))
+	}
 }
 
 func fatal(err error) {

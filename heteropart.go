@@ -42,6 +42,7 @@ import (
 	"heteropart/internal/exp"
 	"heteropart/internal/glinda"
 	"heteropart/internal/mem"
+	"heteropart/internal/metrics"
 	"heteropart/internal/rt"
 	"heteropart/internal/sim"
 	"heteropart/internal/strategy"
@@ -166,6 +167,11 @@ type (
 	Experiment = exp.Experiment
 	// ResultTable is an experiment's rendered output.
 	ResultTable = exp.Table
+	// Metrics is a registry of runtime/scheduler instruments; pass one
+	// through Options.Metrics to collect execution telemetry.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is a point-in-time view of a registry.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Synchronization variants.
@@ -237,6 +243,12 @@ func Matchmake(p *Problem, plat *Platform, opts Options) (Report, *Outcome, erro
 func ValidateRanking(app App, v Variant, plat *Platform, opts Options) (*Validation, error) {
 	return analyzer.ValidateRanking(app, v, plat, opts)
 }
+
+// NewMetrics returns an empty metrics registry. Wire it into a run via
+// Options.Metrics, then render it with (*Metrics).Text or walk a
+// Snapshot; a nil *Metrics everywhere means observability off at zero
+// cost.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
 
 // Experiments returns the harness regenerating every evaluation table
 // and figure of the paper.

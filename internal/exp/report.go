@@ -4,7 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"heteropart/internal/analyzer"
+	"heteropart/internal/apps"
 	"heteropart/internal/device"
+	"heteropart/internal/metrics"
+	"heteropart/internal/strategy"
 )
 
 // summaryRows maps paper artifacts to their reproduction status for
@@ -84,5 +88,64 @@ DESIGN.md §4.
 		fmt.Fprintf(&b, "## %s — %s\n\n", tab.ID, tab.Title)
 		fmt.Fprintf(&b, "```\n%s```\n\n", tab.Render())
 	}
+	appendix, err := metricsAppendix(plat)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(appendix)
+	return b.String(), nil
+}
+
+// metricsAppendix runs the analyzer-selected strategy for each
+// evaluation application with a metrics registry attached and renders
+// the collected execution telemetry. Only virtual-time series appear
+// here (the registry also carries wall-clock gauges, which would break
+// the report's byte-for-byte determinism).
+func metricsAppendix(plat *device.Platform) (string, error) {
+	var b strings.Builder
+	b.WriteString(`## Appendix — execution metrics
+
+Runtime telemetry of the analyzer-selected strategy per evaluation
+application (see DESIGN.md §8 for the full series catalog; the same
+data is available from any run via ` + "`hetsim -metrics`" + `).
+
+| App | Strategy | Makespan (ms) | Tasks host/accel | HtoD (MB) | DtoH (MB) | Decisions | Decision overhead (µs) | Taskwaits |
+|---|---|---|---|---|---|---|---|---|
+`)
+	appNames := []string{"MatrixMul", "BlackScholes", "Nbody", "HotSpot",
+		"STREAM-Seq", "STREAM-Loop"}
+	for _, name := range appNames {
+		app, err := apps.ByName(name)
+		if err != nil {
+			return "", err
+		}
+		p, err := app.Build(apps.Variant{Spaces: 1 + len(plat.Accels)})
+		if err != nil {
+			return "", err
+		}
+		reg := metrics.NewRegistry()
+		_, out, err := analyzer.Matchmake(p, plat, strategy.Options{Metrics: reg})
+		if err != nil {
+			return "", fmt.Errorf("exp: metrics appendix %s: %w", name, err)
+		}
+		snap := reg.Snapshot(out.Result.Makespan)
+		get := func(series string) float64 {
+			pt, _ := snap.Get(series)
+			return pt.Value
+		}
+		var accelTasks float64
+		for d := 1; d <= len(plat.Accels); d++ {
+			accelTasks += get(metrics.Label("rt_tasks_total", "dev", fmt.Sprintf("%d", d)))
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.1f | %.0f/%.0f | %.1f | %.1f | %.0f | %.0f | %.0f |\n",
+			name, out.Strategy, out.Result.Makespan.Milliseconds(),
+			get(metrics.Label("rt_tasks_total", "dev", "0")), accelTasks,
+			get(metrics.Label("rt_transfer_bytes_total", "dir", "htod"))/1e6,
+			get(metrics.Label("rt_transfer_bytes_total", "dir", "dtoh"))/1e6,
+			get("rt_decisions_total"),
+			get("rt_decision_overhead_ns_total")/1e3,
+			get("rt_taskwaits_total"))
+	}
+	b.WriteByte('\n')
 	return b.String(), nil
 }

@@ -31,6 +31,7 @@ import (
 
 	"heteropart/internal/device"
 	"heteropart/internal/mem"
+	"heteropart/internal/metrics"
 	"heteropart/internal/rt"
 	"heteropart/internal/sched"
 	"heteropart/internal/task"
@@ -48,6 +49,9 @@ type Config struct {
 	// overheads, above HighCut the CPU partition cannot keep a single
 	// core usefully busy. Defaults 0.03 and 0.97.
 	LowCut, HighCut float64
+	// Metrics, when non-nil, receives per-kernel profiling gauges
+	// (probe throughputs, effective bandwidth, probe counts).
+	Metrics *metrics.Registry
 }
 
 // Defaults fills zero fields with default values.
@@ -334,6 +338,20 @@ func Profile(plat *device.Platform, dir *mem.Directory, k *task.Kernel, accelID 
 	// inputs moved to the device, outputs flushed back.
 	est.InSlope, est.InConst = fitBytes(s, accessBytes(k, s, true), accessBytes(k, s/2, true))
 	est.OutSlope, est.OutConst = fitBytes(s, accessBytes(k, s, false), accessBytes(k, s/2, false))
+
+	if r := cfg.Metrics; r != nil {
+		r.Counter("glinda_profiles_total", "profiling passes executed").Inc()
+		r.Gauge(metrics.Label("glinda_rc", "kernel", k.Name),
+			"profiled whole-CPU throughput, elements/s").Set(est.Rc)
+		r.Gauge(metrics.Label("glinda_rg", "kernel", k.Name),
+			"profiled accelerator throughput, elements/s").Set(est.Rg)
+		if !math.IsInf(est.B, 1) {
+			r.Gauge(metrics.Label("glinda_bandwidth", "kernel", k.Name),
+				"profiled effective link bandwidth, bytes/s").Set(est.B)
+		}
+		r.Gauge(metrics.Label("glinda_probe_elems", "kernel", k.Name),
+			"probe sample size, elements").SetInt(s)
+	}
 	return est, nil
 }
 

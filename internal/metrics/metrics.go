@@ -1,0 +1,444 @@
+// Package metrics is the observability substrate of the runtime stack:
+// a registry of named counters, gauges and histograms that the
+// simulator, the task runtime, the schedulers and the partitioning
+// pipeline report into.
+//
+// Design constraints, mirroring *trace.Trace:
+//
+//   - nil-safe: every method on a nil *Registry or nil instrument is a
+//     no-op, so instrumentation sites never branch on "is observability
+//     enabled";
+//   - zero-allocation on the hot path: instrument handles are resolved
+//     once (registration may allocate), after which Add/Set/Observe
+//     touch only atomics;
+//   - deterministic exposition: snapshots and the Prometheus-style text
+//     format are sorted by series name, never by map iteration order;
+//   - virtual-time-aware: a snapshot stamps the simulator's virtual
+//     clock, because "when" in this system is virtual nanoseconds, not
+//     the wall clock.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"heteropart/internal/sim"
+)
+
+// Type discriminates instrument kinds in snapshots and exposition.
+type Type int
+
+const (
+	// CounterType is a monotonically increasing sum.
+	CounterType Type = iota
+	// GaugeType is a point-in-time value.
+	GaugeType
+	// HistogramType is a bucketed distribution of observations.
+	HistogramType
+)
+
+// String names the type as the Prometheus exposition format does.
+func (t Type) String() string {
+	switch t {
+	case CounterType:
+		return "counter"
+	case GaugeType:
+		return "gauge"
+	case HistogramType:
+		return "histogram"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Counter is a monotonically increasing integer sum. The zero value is
+// ready; a nil *Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Safe on nil; negative deltas are ignored
+// (counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current sum. Safe on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float value. The zero value is ready; a nil
+// *Gauge discards updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value. Safe on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value. Safe on nil.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current value. Safe on nil.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// HistBuckets is the number of histogram buckets: observations land in
+// power-of-two buckets, bucket i holding values in [2^i, 2^(i+1)) with
+// bucket 0 holding values <= 1 and the last bucket catching the rest.
+// With 44 buckets the top finite boundary is 2^43 ns ≈ 2.4 virtual
+// hours — beyond any simulated span this system produces.
+const HistBuckets = 44
+
+// Histogram is a fixed-bucket log2 distribution of int64 observations
+// (virtual nanoseconds, bytes, percents — any non-negative integer
+// measure). Observe is allocation-free. The zero value is ready; a nil
+// *Histogram discards updates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. Negative observations clamp to zero.
+// Safe on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveDuration records a virtual duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d sim.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations. Safe on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations. Safe on nil.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation. Safe on nil.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the average observation, 0 when empty. Safe on nil.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// instrument is one registered series.
+type instrument struct {
+	name string
+	typ  Type
+	help string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named instruments. The zero value is ready; a nil
+// *Registry hands out nil instruments, so an entire instrumentation
+// tree built from a nil registry is inert. Registration takes a lock
+// and may allocate — resolve instruments once at setup, not per event.
+type Registry struct {
+	mu   sync.Mutex
+	by   map[string]*instrument
+	list []*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// lookup finds or creates an instrument, enforcing type consistency:
+// re-registering a name with a different type returns a fresh detached
+// instrument (the caller's updates go nowhere visible) rather than
+// corrupting the series — a programming error surfaced by tests, not a
+// runtime panic mid-simulation.
+func (r *Registry) lookup(name string, typ Type, help string) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.by == nil {
+		r.by = make(map[string]*instrument)
+	}
+	if in, ok := r.by[name]; ok {
+		if in.typ != typ {
+			return newInstrument(name, typ, help)
+		}
+		if in.help == "" && help != "" {
+			in.help = help
+		}
+		return in
+	}
+	in := newInstrument(name, typ, help)
+	r.by[name] = in
+	r.list = append(r.list, in)
+	return in
+}
+
+func newInstrument(name string, typ Type, help string) *instrument {
+	in := &instrument{name: name, typ: typ, help: help}
+	switch typ {
+	case CounterType:
+		in.c = &Counter{}
+	case GaugeType:
+		in.g = &Gauge{}
+	case HistogramType:
+		in.h = &Histogram{}
+	}
+	return in
+}
+
+// Counter returns the named counter, creating it if needed. A nil
+// registry returns a nil (inert) counter.
+func (r *Registry) Counter(name string, help ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, CounterType, first(help)).c
+}
+
+// Gauge returns the named gauge, creating it if needed. A nil registry
+// returns a nil (inert) gauge.
+func (r *Registry) Gauge(name string, help ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, GaugeType, first(help)).g
+}
+
+// Histogram returns the named histogram, creating it if needed. A nil
+// registry returns a nil (inert) histogram.
+func (r *Registry) Histogram(name string, help ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, HistogramType, first(help)).h
+}
+
+func first(s []string) string {
+	if len(s) > 0 {
+		return s[0]
+	}
+	return ""
+}
+
+// Label renders a labeled series name: Label("x_total", "dev", "1")
+// is `x_total{dev="1"}`. Use at registration time only — it allocates.
+func Label(name, key, value string) string {
+	return name + "{" + key + "=\"" + value + "\"}"
+}
+
+// Labels renders a series name with several key="value" pairs, given
+// as alternating key, value arguments, in the given (stable) order.
+func Labels(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString("=\"")
+		b.WriteString(kv[i+1])
+		b.WriteString("\"")
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Point is one series in a snapshot.
+type Point struct {
+	Name string
+	Type Type
+	Help string
+	// Value carries the counter sum or gauge value.
+	Value float64
+	// Count, Sum, Max and Mean are set for histograms.
+	Count int64
+	Sum   int64
+	Max   int64
+	Mean  float64
+}
+
+// Snapshot is a consistent view of every registered series at one
+// virtual instant.
+type Snapshot struct {
+	// At is the virtual time the snapshot was taken.
+	At sim.Time
+	// Points are the series, sorted by name.
+	Points []Point
+}
+
+// Snapshot captures every series, sorted by name. Safe on nil (empty
+// snapshot).
+func (r *Registry) Snapshot(now sim.Time) Snapshot {
+	s := Snapshot{At: now}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	list := make([]*instrument, len(r.list))
+	copy(list, r.list)
+	r.mu.Unlock()
+	for _, in := range list {
+		p := Point{Name: in.name, Type: in.typ, Help: in.help}
+		switch in.typ {
+		case CounterType:
+			p.Value = float64(in.c.Value())
+		case GaugeType:
+			p.Value = in.g.Value()
+		case HistogramType:
+			p.Count = in.h.Count()
+			p.Sum = in.h.Sum()
+			p.Max = in.h.Max()
+			p.Mean = in.h.Mean()
+			p.Value = float64(p.Count)
+		}
+		s.Points = append(s.Points, p)
+	}
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].Name < s.Points[j].Name })
+	return s
+}
+
+// Get returns a point by exact series name, false when absent.
+func (s Snapshot) Get(name string) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// baseName strips the {labels} suffix of a series name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteText renders the snapshot in the Prometheus text exposition
+// format (plus `heteropart_virtual_time_ns` carrying the snapshot's
+// virtual timestamp). Output is deterministic: series sort by name,
+// numbers format identically across runs.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE heteropart_virtual_time_ns gauge\nheteropart_virtual_time_ns %d\n", int64(s.At))
+	lastBase := "heteropart_virtual_time_ns"
+	for _, p := range s.Points {
+		base := baseName(p.Name)
+		if base != lastBase {
+			if p.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, p.Help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, p.Type)
+			lastBase = base
+		}
+		switch p.Type {
+		case HistogramType:
+			fmt.Fprintf(&b, "%s_count %d\n", p.Name, p.Count)
+			fmt.Fprintf(&b, "%s_sum %d\n", p.Name, p.Sum)
+			fmt.Fprintf(&b, "%s_max %d\n", p.Name, p.Max)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", p.Name, formatValue(p.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders integers without an exponent and floats with a
+// stable short form, so expositions are byte-identical across runs.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 9, 64)
+}
+
+// WriteText snapshots the registry at the given virtual time and
+// renders it. Safe on nil (renders only the timestamp line).
+func (r *Registry) WriteText(w io.Writer, now sim.Time) error {
+	return r.Snapshot(now).WriteText(w)
+}
+
+// Text is WriteText into a string.
+func (r *Registry) Text(now sim.Time) string {
+	var b strings.Builder
+	_ = r.WriteText(&b, now)
+	return b.String()
+}

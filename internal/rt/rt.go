@@ -21,6 +21,7 @@ import (
 
 	"heteropart/internal/device"
 	"heteropart/internal/mem"
+	"heteropart/internal/metrics"
 	"heteropart/internal/sched"
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
@@ -33,6 +34,10 @@ type Config struct {
 	Scheduler sched.Scheduler
 	// Trace, when non-nil, receives execution records.
 	Trace *trace.Trace
+	// Metrics, when non-nil, receives runtime counters and scheduler
+	// telemetry (see rtMetrics for the series list). Nil keeps the
+	// task-execution hot path free of instrumentation cost.
+	Metrics *metrics.Registry
 	// Compute executes each kernel's real Go implementation at
 	// instance completion (tests); false runs timing-only (benches).
 	Compute bool
@@ -147,6 +152,10 @@ type engine struct {
 	opIdx       int
 	barrierWait bool
 
+	// mx is the metrics bundle; nil (the default) makes every
+	// instrumentation call a no-op.
+	mx *rtMetrics
+
 	res *Result
 	err error
 }
@@ -192,6 +201,12 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 			InstancesByDevice: make(map[int]int),
 			DeviceBusy:        make(map[int]sim.Duration),
 		},
+	}
+	e.mx = newRTMetrics(cfg.Metrics, cfg.Platform)
+	if cfg.Metrics != nil {
+		if ms, ok := cfg.Scheduler.(sched.MetricsSetter); ok {
+			ms.SetMetrics(cfg.Metrics)
+		}
 	}
 
 	// Executor slots: m on the host, 1 per accelerator. Host
@@ -257,6 +272,7 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 			e.remaining, e.opIdx, len(plan.Ops))
 	}
 	e.res.Makespan = e.eng.Now()
+	e.mx.finish(e.eng, e.res)
 	return e.res, nil
 }
 
@@ -350,6 +366,7 @@ func (e *engine) flushThen(cont func()) {
 	transfers := e.dir.FlushAllTransfers()
 	if len(transfers) == 0 {
 		e.dir.DropDeviceCopies()
+		e.mx.taskwaitDone(0)
 		cont()
 		return
 	}
@@ -360,6 +377,7 @@ func (e *engine) flushThen(cont func()) {
 			Kind: trace.Barrier, Start: start, End: e.eng.Now(),
 			Device: -1, Label: "taskwait-flush",
 		})
+		e.mx.taskwaitDone(e.eng.Now() - start)
 		cont()
 	})
 }
@@ -459,6 +477,7 @@ func (e *engine) runTransfer(tr mem.Transfer, done func()) {
 				Kind: trace.Transfer, Start: startAt, End: e.eng.Now(),
 				Device: accel, Label: tr.Buf.Name, Bytes: tr.Bytes(), ToDev: toDev,
 			})
+			e.mx.transferDone(toDev, tr.Bytes(), e.eng.Now()-startAt)
 			done()
 			for _, s := range fl.subs {
 				s()
@@ -472,6 +491,7 @@ func (e *engine) runTransfer(tr mem.Transfer, done func()) {
 func (e *engine) route(in *task.Instance) {
 	if in.Pin != task.Unpinned {
 		e.devQ[in.Pin] = append(e.devQ[in.Pin], in)
+		e.mx.noteQueueDepth(in.Pin, len(e.devQ[in.Pin]))
 		e.cfg.Scheduler.Placed(in, in.Pin)
 		return
 	}
@@ -480,10 +500,12 @@ func (e *engine) route(in *task.Instance) {
 	}
 	if dev, ok := e.cfg.Scheduler.OnReady(in, e); ok {
 		e.devQ[dev] = append(e.devQ[dev], in)
+		e.mx.noteQueueDepth(dev, len(e.devQ[dev]))
 		e.cfg.Scheduler.Placed(in, dev)
 		return
 	}
 	e.central = append(e.central, in)
+	e.mx.noteCentralDepth(len(e.central))
 }
 
 // reofferCentral gives a push scheduler that deferred instances (e.g.
@@ -501,6 +523,7 @@ func (e *engine) reofferCentral() {
 	for _, in := range e.central {
 		if dev, ok := e.cfg.Scheduler.OnReady(in, e); ok {
 			e.devQ[dev] = append(e.devQ[dev], in)
+			e.mx.noteQueueDepth(dev, len(e.devQ[dev]))
 			e.cfg.Scheduler.Placed(in, dev)
 			continue
 		}
@@ -556,6 +579,7 @@ func (e *engine) dispatchOne(d *device.Device) bool {
 			return false
 		}
 		e.cfg.Scheduler.Placed(pick, d.ID)
+		e.mx.pulledFromCentral(d.ID)
 		in = pick
 	} else {
 		return false
@@ -573,6 +597,7 @@ func (e *engine) start(in *task.Instance, d *device.Device) {
 	if in.Pin == task.Unpinned {
 		oh := e.cfg.Scheduler.Overhead()
 		e.res.Decisions++
+		e.mx.decisionTaken(oh)
 		if oh > 0 {
 			s := e.eng.Now()
 			e.cfg.Trace.Add(trace.Record{
@@ -639,6 +664,7 @@ func (e *engine) complete(in *task.Instance, d *device.Device, startAt sim.Time,
 	km[d.ID] += in.Elems()
 	e.res.InstancesByDevice[d.ID]++
 	e.res.DeviceBusy[d.ID] += dur
+	e.mx.taskDone(d.ID, in.Elems(), dur)
 
 	// Report to the scheduler: dispatch-to-completion wall time on an
 	// accelerator (its transfers ride on its own pipeline), dedicated-

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"heteropart/internal/metrics"
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
 )
@@ -19,6 +20,10 @@ type Dep struct {
 	// plain breadth-first), so chunks migrate freely between devices
 	// across kernels.
 	noAffinity bool
+
+	// Telemetry handles (nil-safe; bound by SetMetrics).
+	mAffinityHits *metrics.Counter
+	mAffinityMiss *metrics.Counter
 }
 
 // NewDep returns a DP-Dep scheduler with the default decision overhead.
@@ -36,6 +41,17 @@ func NewDepNoAffinity() *Dep {
 
 // Name implements Scheduler.
 func (d *Dep) Name() string { return "DP-Dep" }
+
+// SetMetrics implements MetricsSetter: count how often the
+// dependency-chain affinity actually steered a pick (hits) versus fell
+// back to plain breadth-first order (misses) — the telemetry that
+// shows why DP-Dep keeps transfers low but ignores device capability.
+func (d *Dep) SetMetrics(r *metrics.Registry) {
+	d.mAffinityHits = r.Counter("sched_dep_affinity_hits_total",
+		"picks that followed dependency-chain residency")
+	d.mAffinityMiss = r.Counter("sched_dep_affinity_misses_total",
+		"picks that fell back to breadth-first order")
+}
 
 // OnReady implements Scheduler: DP-Dep is a pull policy.
 func (d *Dep) OnReady(*task.Instance, View) (int, bool) { return 0, false }
@@ -63,12 +79,14 @@ func (d *Dep) OnIdle(dev int, ready []*task.Instance, v View) *task.Instance {
 	for _, in := range runnable {
 		if in.Chain >= 0 {
 			if home, ok := d.chainHome[in.Chain]; ok && home == dev {
+				d.mAffinityHits.Inc()
 				return in
 			}
 		}
 	}
 	// Breadth-first fallback: oldest ready instance whose chain is not
 	// claimed by another device; failing that, simply the oldest.
+	d.mAffinityMiss.Inc()
 	for _, in := range runnable {
 		if in.Chain < 0 {
 			return in

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"heteropart/internal/device"
+	"heteropart/internal/metrics"
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
 )
@@ -48,6 +49,11 @@ type Perf struct {
 	blind bool
 	// rr rotates warm-up placements deterministically.
 	rr int
+
+	// Telemetry handles (nil-safe; bound by SetMetrics).
+	mWarmup   *metrics.Counter
+	mDeferred *metrics.Counter
+	mPredErr  *metrics.Histogram
 }
 
 // NewPerf returns a DP-Perf scheduler with the default decision
@@ -71,6 +77,20 @@ func NewPerfBlind() *Perf {
 
 // Name implements Scheduler.
 func (p *Perf) Name() string { return "DP-Perf" }
+
+// SetMetrics implements MetricsSetter: export the policy's decision
+// telemetry — warm-up placements, profiling-gate deferrals, and the
+// distribution of the rate model's prediction error (the quantity
+// behind the paper's "DP-Perf overestimates the GPU capability"
+// observation, Section IV-B1).
+func (p *Perf) SetMetrics(r *metrics.Registry) {
+	p.mWarmup = r.Counter("sched_perf_warmup_total",
+		"warm-up (profiling-phase) placements")
+	p.mDeferred = r.Counter("sched_perf_deferred_total",
+		"instances deferred by the profiling gate")
+	p.mPredErr = r.Histogram("sched_perf_prediction_error_pct",
+		"abs relative error of predicted vs measured instance span, percent")
+}
 
 // OnReady implements Scheduler: pick the earliest-finishing device.
 func (p *Perf) OnReady(in *task.Instance, v View) (int, bool) {
@@ -96,6 +116,7 @@ func (p *Perf) OnReady(in *task.Instance, v View) (int, bool) {
 	if len(starving) > 0 {
 		dev := starving[p.rr%len(starving)]
 		p.rr++
+		p.mWarmup.Inc()
 		return dev, true
 	}
 
@@ -107,6 +128,7 @@ func (p *Perf) OnReady(in *task.Instance, v View) (int, bool) {
 	for _, d := range devs {
 		r, ok := p.rates[kernelDev{in.Kernel.Name, d.ID}]
 		if !ok || r.samples == 0 {
+			p.mDeferred.Inc()
 			return 0, false
 		}
 	}
@@ -188,11 +210,21 @@ func (p *Perf) Placed(in *task.Instance, dev int) {
 }
 
 // Completed implements Scheduler: fold the measured rate into the
-// running mean.
+// running mean, recording how far the pre-completion prediction was
+// off first (telemetry for tuning the rate model).
 func (p *Perf) Completed(in *task.Instance, dev int, took sim.Duration) {
 	size := sizeOf(in)
 	if size <= 0 {
 		return
+	}
+	if p.mPredErr != nil && took > 0 {
+		if est := p.estimate(in, dev); est > 0 {
+			diff := float64(est - took)
+			if diff < 0 {
+				diff = -diff
+			}
+			p.mPredErr.Observe(int64(100 * diff / float64(took)))
+		}
 	}
 	k := kernelDev{in.Kernel.Name, dev}
 	r := p.rates[k]

@@ -16,6 +16,7 @@ package sched
 
 import (
 	"heteropart/internal/device"
+	"heteropart/internal/metrics"
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
 )
@@ -64,6 +65,15 @@ type Scheduler interface {
 
 	// Overhead is the virtual cost of one scheduling decision.
 	Overhead() sim.Duration
+}
+
+// MetricsSetter is implemented by policies that export decision
+// telemetry. The runtime calls SetMetrics once per execution, before
+// any scheduling hook, when observability is enabled; policies resolve
+// their instruments there and report through nil-safe handles, so an
+// uninstrumented run pays nothing.
+type MetricsSetter interface {
+	SetMetrics(*metrics.Registry)
 }
 
 // DefaultDecisionOverhead models one OmpSs scheduling decision: queue

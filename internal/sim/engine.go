@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -121,6 +122,10 @@ type Engine struct {
 	queue  eventHeap
 	fired  uint64
 	halted bool
+	// wall accumulates the real time spent inside Run/RunUntil, for
+	// the observability layer's virtual-vs-wall clock ratio. Tracking
+	// costs two monotonic clock reads per Run call, not per event.
+	wall time.Duration
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -178,12 +183,19 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// WallTime reports the cumulative real time spent inside Run and
+// RunUntil. Dividing virtual Now by WallTime gives the simulation's
+// time-compression ratio.
+func (e *Engine) WallTime() time.Duration { return e.wall }
+
 // Run dispatches events until the queue drains or Halt is called.
 // It returns the final virtual time.
 func (e *Engine) Run() Time {
+	start := time.Now()
 	e.halted = false
 	for !e.halted && e.Step() {
 	}
+	e.wall += time.Since(start)
 	return e.now
 }
 
@@ -191,6 +203,8 @@ func (e *Engine) Run() Time {
 // the deadline remain queued. The clock is left at min(deadline, last
 // fired event time) — it never jumps forward past fired events.
 func (e *Engine) RunUntil(deadline Time) Time {
+	start := time.Now()
+	defer func() { e.wall += time.Since(start) }()
 	e.halted = false
 	for !e.halted {
 		// Peek.

@@ -50,6 +50,14 @@ func AutoTuneChunks(s Strategy, build func() (*apps.Problem, error),
 		if out.Result.Makespan < bestT {
 			best, bestT = m, out.Result.Makespan
 		}
+		opts.Metrics.Counter("autotune_iterations_total",
+			"auto-tune sweep measurements taken").Inc()
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.Gauge("autotune_best_chunks",
+			"task count selected by the auto-tuner").SetInt(int64(best))
+		opts.Metrics.Gauge("autotune_best_makespan_ns",
+			"makespan of the auto-tuned configuration").SetInt(int64(bestT))
 	}
 	return best, sweep, nil
 }

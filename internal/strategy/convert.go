@@ -55,17 +55,17 @@ func (s DPConverted) Run(p *apps.Problem, plat *device.Platform, opts Options) (
 	// or the single kernel.
 	var dec glinda.Decision
 	if len(p.Unique) == 1 {
-		d, err := glinda.Analyze(plat, p.Dir, p.Unique[0], 1, opts.Glinda)
+		d, err := glinda.Analyze(plat, p.Dir, p.Unique[0], 1, opts.glindaCfg())
 		if err != nil {
 			return nil, err
 		}
 		dec = d
 	} else {
-		est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.Glinda)
+		est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.glindaCfg())
 		if err != nil {
 			return nil, err
 		}
-		dec = glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.Glinda)
+		dec = glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.glindaCfg())
 	}
 
 	// Step 2: ratio -> instance counts.
@@ -101,5 +101,6 @@ func (s DPConverted) Run(p *apps.Problem, plat *device.Platform, opts Options) (
 		return nil, err
 	}
 	out.Decisions = map[string]glinda.Decision{"": dec}
+	recordDecisions(opts, out)
 	return out, nil
 }

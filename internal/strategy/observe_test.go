@@ -1,0 +1,136 @@
+package strategy
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/trace"
+)
+
+// runDPPerfTraced executes a small DP-Perf run with tracing on and
+// returns its Chrome trace-event JSON.
+func runDPPerfTraced(t *testing.T) []byte {
+	t.Helper()
+	p := smallProblem(t, "HotSpot", apps.SyncDefault)
+	// NoSeed keeps the warm-up phase inside the traced run, so every
+	// device is guaranteed to appear on its own track.
+	out, err := DPPerf{}.Run(p, device.PaperPlatform(4),
+		Options{CollectTrace: true, NoSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.Trace.ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDPPerfChromeTraceValid validates the exporter against a real
+// scheduler run: the output must parse as trace-event JSON, every
+// duration event must be complete ("X" with ts and dur), timestamps
+// must be monotonic within the sorted stream, and the device track
+// names must be stable.
+func TestDPPerfChromeTraceValid(t *testing.T) {
+	raw := runDPPerfTraced(t)
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   *float64        `json:"ts"`
+			Dur  *float64        `json:"dur"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	tracks := map[int]string{}
+	lastTs := -1.0
+	var xEvents, taskEvents, decisionEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(ev.Args, &args); err != nil {
+					t.Fatalf("thread_name args: %v", err)
+				}
+				tracks[ev.Tid] = args.Name
+			}
+		case "X":
+			xEvents++
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Fatalf("incomplete X event %q: ts/dur missing", ev.Name)
+			}
+			if *ev.Ts < lastTs {
+				t.Fatalf("X event %q at ts=%v after ts=%v: not monotonic", ev.Name, *ev.Ts, lastTs)
+			}
+			lastTs = *ev.Ts
+			if *ev.Dur < 0 {
+				t.Fatalf("X event %q has negative dur %v", ev.Name, *ev.Dur)
+			}
+			name, ok := tracks[ev.Tid]
+			if !ok {
+				t.Fatalf("X event %q on tid %d with no thread_name metadata", ev.Name, ev.Tid)
+			}
+			switch {
+			case strings.HasPrefix(name, "device "):
+				taskEvents++
+			case name == trace.DecisionsTrackName:
+				decisionEvents++
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if xEvents == 0 {
+		t.Fatal("no X events in a traced DP-Perf run")
+	}
+	if taskEvents == 0 {
+		t.Error("no events on device tracks")
+	}
+	if decisionEvents == 0 {
+		t.Error("no events on the scheduler-decisions track (DP-Perf is dynamic)")
+	}
+	// Stable track names: host and first accelerator must be present
+	// under their documented names.
+	want := map[string]bool{
+		trace.DeviceTrackName(0): false,
+		trace.DeviceTrackName(1): false,
+	}
+	for _, name := range tracks {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("track %q missing from metadata", name)
+		}
+	}
+}
+
+// TestDPPerfChromeTraceDeterministic guards the byte-identical
+// contract: two identical runs must export identical Chrome JSON.
+func TestDPPerfChromeTraceDeterministic(t *testing.T) {
+	a := runDPPerfTraced(t)
+	b := runDPPerfTraced(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical DP-Perf runs produced different Chrome trace JSON")
+	}
+}

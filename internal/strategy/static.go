@@ -39,7 +39,7 @@ func (s SPSingle) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Ou
 	if ratio := glinda.ImbalanceRatio(p.Unique[0], imbalanceSample(p.Unique[0])); ratio > ImbalanceThreshold {
 		return s.runImbalanced(p, plat, opts)
 	}
-	dec, err := glinda.Analyze(plat, p.Dir, p.Unique[0], 1, opts.Glinda)
+	dec, err := glinda.Analyze(plat, p.Dir, p.Unique[0], 1, opts.glindaCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +49,7 @@ func (s SPSingle) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Ou
 		return nil, err
 	}
 	out.Decisions = map[string]glinda.Decision{"": dec}
+	recordDecisions(opts, out)
 	return out, nil
 }
 
@@ -70,7 +71,7 @@ func imbalanceSample(k *task.Kernel) int64 {
 // together (the ICS'14 "matching imbalanced workloads" pipeline).
 func (s SPSingle) runImbalanced(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
 	k := p.Unique[0]
-	dec, err := glinda.AnalyzeImbalanced(plat, p.Dir, k, 1, opts.Glinda)
+	dec, err := glinda.AnalyzeImbalanced(plat, p.Dir, k, 1, opts.glindaCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +101,7 @@ func (s SPSingle) runImbalanced(p *apps.Problem, plat *device.Platform, opts Opt
 		NG:     dec.Split,
 		NC:     k.Size - dec.Split,
 	}}
+	recordDecisions(opts, out)
 	return out, nil
 }
 
@@ -110,7 +112,7 @@ func (s SPSingle) runMulti(p *apps.Problem, plat *device.Platform, opts Options)
 	ests := make([]glinda.Estimate, len(plat.Accels))
 	var rc float64
 	for i := range plat.Accels {
-		est, err := glinda.Profile(plat, p.Dir, k, i+1, opts.Glinda)
+		est, err := glinda.Profile(plat, p.Dir, k, i+1, opts.glindaCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +173,7 @@ func (s SPUnified) Run(p *apps.Problem, plat *device.Platform, opts Options) (*O
 	if p.AtomicPhases {
 		return nil, fmt.Errorf("strategy: SP-Unified cannot partition atomic-phase %s", p.AppName)
 	}
-	est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.Glinda)
+	est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.glindaCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -184,13 +186,14 @@ func (s SPUnified) Run(p *apps.Problem, plat *device.Platform, opts Options) (*O
 		est.InSlope, est.InConst = 0, 0
 		est.OutSlope, est.OutConst = 0, 0
 	}
-	dec := glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.Glinda)
+	dec := glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.glindaCfg())
 	plan := staticPhasePlan(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
 	out, err := execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
 	if err != nil {
 		return nil, err
 	}
 	out.Decisions = map[string]glinda.Decision{"": dec}
+	recordDecisions(opts, out)
 	return out, nil
 }
 
@@ -217,7 +220,7 @@ func (s SPVaried) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Ou
 	}
 	decs := make(map[string]glinda.Decision, len(p.Unique))
 	for _, k := range p.Unique {
-		dec, err := glinda.Analyze(plat, p.Dir, k, 1, opts.Glinda)
+		dec, err := glinda.Analyze(plat, p.Dir, k, 1, opts.glindaCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -232,6 +235,7 @@ func (s SPVaried) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Ou
 		return nil, err
 	}
 	out.Decisions = decs
+	recordDecisions(opts, out)
 	return out, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
 	"heteropart/internal/glinda"
+	"heteropart/internal/metrics"
 	"heteropart/internal/rt"
 	"heteropart/internal/sched"
 	"heteropart/internal/task"
@@ -38,6 +39,11 @@ type Options struct {
 	Compute bool
 	// CollectTrace attaches a trace to the measured run.
 	CollectTrace bool
+	// Metrics, when non-nil, receives runtime counters, scheduler
+	// telemetry and the Glinda decision gauges of the measured run
+	// (training/profiling passes are not instrumented — the registry
+	// reflects what the paper measures).
+	Metrics *metrics.Registry
 	// NoSeed disables DP-Perf's excluded training pass, exposing the
 	// raw profiling phase in the measurement.
 	NoSeed bool
@@ -48,6 +54,17 @@ func (o Options) chunks(plat *device.Platform) int {
 		return o.Chunks
 	}
 	return plat.CPUThreads()
+}
+
+// glindaCfg returns the Glinda configuration with the strategy-level
+// metrics registry propagated, so one Options.Metrics instruments the
+// whole pipeline (profiling included) without extra wiring.
+func (o Options) glindaCfg() glinda.Config {
+	g := o.Glinda
+	if g.Metrics == nil {
+		g.Metrics = o.Metrics
+	}
+	return g
 }
 
 // Outcome is a strategy's measured execution.
@@ -112,12 +129,62 @@ func execute(name string, p *apps.Problem, plat *device.Platform, s sched.Schedu
 		Platform:  plat,
 		Scheduler: s,
 		Trace:     tr,
+		Metrics:   opts.Metrics,
 		Compute:   opts.Compute,
 	}, plan, p.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("strategy %s on %s: %w", name, p.AppName, err)
 	}
-	return &Outcome{Strategy: name, Result: res, Trace: tr}, nil
+	out := &Outcome{Strategy: name, Result: res, Trace: tr}
+	if opts.Metrics != nil {
+		// Partition-ratio history: the gauge holds the latest run, the
+		// histogram accumulates across runs (auto-tune sweeps, loops).
+		ratioPct := int64(100*out.GPURatio() + 0.5)
+		opts.Metrics.Gauge("strategy_gpu_ratio_pct",
+			"accelerator share of computed elements, latest run").SetInt(ratioPct)
+		opts.Metrics.Histogram("strategy_gpu_ratio_history_pct",
+			"accelerator share per run, percent").Observe(ratioPct)
+		opts.Metrics.Counter("strategy_runs_total", "strategy executions measured").Inc()
+	}
+	return out, nil
+}
+
+// recordDecisions publishes the Glinda decision telemetry of a static
+// strategy: the partition point per kernel and, when the underlying
+// estimate is available, the model's makespan-prediction error against
+// the measured run.
+func recordDecisions(opts Options, out *Outcome) {
+	r := opts.Metrics
+	if r == nil || out == nil {
+		return
+	}
+	for kernel, d := range out.Decisions {
+		if kernel == "" {
+			kernel = "unified"
+		}
+		r.Gauge(metrics.Label("glinda_beta", "kernel", kernel),
+			"model-optimal accelerator fraction").Set(d.Beta)
+		r.Gauge(metrics.Label("glinda_ng", "kernel", kernel),
+			"accelerator partition elements after rounding").SetInt(d.NG)
+		r.Gauge(metrics.Label("glinda_nc", "kernel", kernel),
+			"host partition elements after rounding").SetInt(d.NC)
+		r.Gauge(metrics.Label("glinda_r", "kernel", kernel),
+			"relative hardware capability metric").Set(d.R)
+		r.Gauge(metrics.Label("glinda_g", "kernel", kernel),
+			"computation-to-transfer gap metric").Set(d.G)
+		if d.Est.N > 0 && out.Result.Makespan > 0 {
+			pred := d.Est.PredictMakespan(d.Beta, d.Est.N) // seconds
+			meas := out.Result.Makespan.Seconds()
+			if pred > 0 && meas > 0 {
+				err := 100 * (pred - meas) / meas
+				if err < 0 {
+					err = -err
+				}
+				r.Gauge(metrics.Label("glinda_prediction_error_pct", "kernel", kernel),
+					"abs relative error of the model's predicted makespan").Set(err)
+			}
+		}
+	}
 }
 
 // splitHost submits [lo,hi) of a kernel as m host-pinned chunks, using

@@ -8,45 +8,84 @@ import (
 	"heteropart/internal/sim"
 )
 
-// DeviceUtilization summarizes one device's activity over a run.
+// DeviceUtilization summarizes one device's activity over a run,
+// decomposed the way the paper's analysis needs it: kernel-execution
+// time, transfer occupancy and scheduler decision overhead are
+// reported separately, never mixed into one "busy" number.
 type DeviceUtilization struct {
 	Device int
-	// Busy is the cumulative kernel-execution span (overlapping task
-	// spans on a multi-slot device are summed, so Busy can exceed the
-	// makespan).
+	// Busy is the cumulative kernel-execution span only — transfers
+	// and decision overheads are excluded, preserving the historical
+	// semantics of this field. Overlapping task spans on a multi-slot
+	// device are summed, so Busy can exceed the makespan.
 	Busy sim.Duration
 	// Tasks is the number of task instances executed.
 	Tasks int
 	// Elems is the total iteration-space elements computed.
 	Elems int64
+	// TransferBusy is the cumulative transfer span attributed to this
+	// device (the time its host link spent moving this device's data,
+	// both directions summed).
+	TransferBusy sim.Duration
+	// Transfers counts the transfer records attributed to the device.
+	Transfers int
+	// DecisionOverhead is the cumulative modeled scheduling-decision
+	// span for instances dispatched to this device.
+	DecisionOverhead sim.Duration
+	// Decisions counts those decision records.
+	Decisions int
 	// Utilization is Busy divided by the makespan, as a fraction
 	// (can exceed 1 on multi-slot devices).
 	Utilization float64
+	// TransferFrac is TransferBusy divided by the makespan.
+	TransferFrac float64
+	// DecisionFrac is DecisionOverhead divided by the makespan.
+	DecisionFrac float64
 }
 
 // Utilization computes per-device activity summaries over the trace
-// for a run of the given makespan, sorted by device ID.
+// for a run of the given makespan, sorted by device ID. Every record
+// kind contributes: TaskRun spans feed Busy, Transfer spans feed
+// TransferBusy, Decision spans feed DecisionOverhead. A device that
+// only moved data (or only cost decisions) still gets a row.
 func (t *Trace) Utilization(makespan sim.Duration) []DeviceUtilization {
 	if t == nil || makespan <= 0 {
 		return nil
 	}
 	byDev := make(map[int]*DeviceUtilization)
-	for _, r := range t.Records {
-		if r.Kind != TaskRun {
-			continue
-		}
-		u := byDev[r.Device]
+	get := func(dev int) *DeviceUtilization {
+		u := byDev[dev]
 		if u == nil {
-			u = &DeviceUtilization{Device: r.Device}
-			byDev[r.Device] = u
+			u = &DeviceUtilization{Device: dev}
+			byDev[dev] = u
 		}
-		u.Busy += r.Span()
-		u.Tasks++
-		u.Elems += r.Elems
+		return u
+	}
+	for _, r := range t.Records {
+		switch r.Kind {
+		case TaskRun:
+			u := get(r.Device)
+			u.Busy += r.Span()
+			u.Tasks++
+			u.Elems += r.Elems
+		case Transfer:
+			u := get(r.Device)
+			u.TransferBusy += r.Span()
+			u.Transfers++
+		case Decision:
+			u := get(r.Device)
+			u.DecisionOverhead += r.Span()
+			u.Decisions++
+		}
+	}
+	if len(byDev) == 0 {
+		return nil
 	}
 	out := make([]DeviceUtilization, 0, len(byDev))
 	for _, u := range byDev {
 		u.Utilization = float64(u.Busy) / float64(makespan)
+		u.TransferFrac = float64(u.TransferBusy) / float64(makespan)
+		u.DecisionFrac = float64(u.DecisionOverhead) / float64(makespan)
 		out = append(out, *u)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
@@ -61,8 +100,15 @@ func (t *Trace) UtilizationReport(makespan sim.Duration) string {
 	}
 	var b strings.Builder
 	for _, u := range us {
-		fmt.Fprintf(&b, "device %d: %4d tasks, %12d elems, busy %v (%.0f%% of makespan)\n",
+		fmt.Fprintf(&b, "device %d: %4d tasks, %12d elems, busy %v (%.0f%% of makespan)",
 			u.Device, u.Tasks, u.Elems, u.Busy, 100*u.Utilization)
+		if u.Transfers > 0 {
+			fmt.Fprintf(&b, ", xfer %v (%.0f%%)", u.TransferBusy, 100*u.TransferFrac)
+		}
+		if u.Decisions > 0 {
+			fmt.Fprintf(&b, ", decisions %v (%.0f%%)", u.DecisionOverhead, 100*u.DecisionFrac)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

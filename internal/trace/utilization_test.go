@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUtilizationAccountsTransfersAndDecisions: Utilization must
+// decompose a device's makespan into kernel-busy, transfer-busy and
+// decision-overhead fractions while preserving the historical Busy
+// (kernel-only) semantics.
+func TestUtilizationAccountsTransfersAndDecisions(t *testing.T) {
+	tr := sample()
+	us := tr.Utilization(400)
+	if len(us) != 2 {
+		t.Fatalf("devices = %d", len(us))
+	}
+	d0, d1 := us[0], us[1]
+
+	// Device 0: 2 tasks (260 ns busy), 1 decision (5 ns), no transfers.
+	if d0.Busy != 260 || d0.Tasks != 2 {
+		t.Fatalf("dev0 busy = %+v", d0)
+	}
+	if d0.DecisionOverhead != 5 || d0.Decisions != 1 {
+		t.Fatalf("dev0 decisions = %+v", d0)
+	}
+	if d0.TransferBusy != 0 || d0.Transfers != 0 {
+		t.Fatalf("dev0 transfers = %+v", d0)
+	}
+	if d0.DecisionFrac < 0.012 || d0.DecisionFrac > 0.013 {
+		t.Fatalf("dev0 decision frac = %v", d0.DecisionFrac)
+	}
+
+	// Device 1: 1 task (100 ns), 2 transfers (50 + 50 ns), no decisions.
+	if d1.Busy != 100 || d1.Tasks != 1 {
+		t.Fatalf("dev1 busy = %+v", d1)
+	}
+	if d1.TransferBusy != 100 || d1.Transfers != 2 {
+		t.Fatalf("dev1 transfers = %+v", d1)
+	}
+	if d1.TransferFrac < 0.24 || d1.TransferFrac > 0.26 {
+		t.Fatalf("dev1 transfer frac = %v", d1.TransferFrac)
+	}
+	if d1.DecisionOverhead != 0 {
+		t.Fatalf("dev1 decisions = %+v", d1)
+	}
+
+	rep := tr.UtilizationReport(400)
+	for _, want := range []string{"xfer", "decisions"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestUtilizationTransferOnlyDevice: a device that only moved data
+// still gets a row (kernel Busy zero).
+func TestUtilizationTransferOnlyDevice(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Record{Kind: Transfer, Start: 0, End: 80, Device: 2, Label: "a", Bytes: 100, ToDev: true})
+	us := tr.Utilization(100)
+	if len(us) != 1 || us[0].Device != 2 {
+		t.Fatalf("utilization = %+v", us)
+	}
+	if us[0].Busy != 0 || us[0].TransferBusy != 80 || us[0].TransferFrac != 0.8 {
+		t.Fatalf("transfer-only device = %+v", us[0])
+	}
+}
+
+// TestTasksOnAndUtilizationNilEmpty: regression for the nil / empty /
+// zero-makespan corner cases.
+func TestTasksOnAndUtilizationNilEmpty(t *testing.T) {
+	var nilT *Trace
+	if nilT.TasksOn(0) != nil {
+		t.Fatal("nil trace TasksOn non-nil")
+	}
+	if nilT.Utilization(100) != nil {
+		t.Fatal("nil trace Utilization non-nil")
+	}
+	empty := &Trace{}
+	if empty.TasksOn(0) != nil {
+		t.Fatal("empty trace TasksOn non-nil")
+	}
+	if empty.Utilization(100) != nil {
+		t.Fatal("empty trace Utilization non-nil")
+	}
+	// Zero and negative makespans cannot produce fractions.
+	if sample().Utilization(0) != nil || sample().Utilization(-5) != nil {
+		t.Fatal("non-positive makespan produced rows")
+	}
+	if !strings.Contains(empty.UtilizationReport(100), "no task records") {
+		t.Fatal("empty report wrong")
+	}
+}
+
+// BenchmarkTraceAdd proves instrumentation overhead is negligible when
+// tracing is disabled (nil *Trace) and allocation-amortized when on.
+func BenchmarkTraceAdd(b *testing.B) {
+	rec := Record{Kind: TaskRun, Start: 1, End: 2, Device: 1, Label: "k#0", Kernel: "k", Elems: 10}
+	b.Run("disabled", func(b *testing.B) {
+		var tr *Trace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Add(rec)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := &Trace{Records: make([]Record, 0, b.N)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Add(rec)
+		}
+	})
+}
