@@ -8,6 +8,8 @@
 //	experiments -exp fig9       # one experiment
 //	experiments -csv out/       # also write CSV files per experiment
 //	experiments -markdown       # emit an EXPERIMENTS.md-style report
+//	experiments -parallel 8     # shard the sweeps over 8 workers
+//	                            # (output stays byte-identical)
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 		chart    = flag.Bool("chart", false, "render figure experiments as ASCII bar charts too")
 		report   = flag.Bool("report", false, "emit the complete EXPERIMENTS.md document")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 1, "worker pool width for the sweep runner (1 = sequential; output is byte-identical either way)")
+		stats    = flag.Bool("stats", false, "print runner telemetry (runs, cache hits/misses, per-worker progress) to stderr")
 	)
 	flag.Parse()
 
@@ -40,10 +44,16 @@ func main() {
 	}
 
 	plat := heteropart.PaperPlatform(*m)
+	var reg *heteropart.Metrics
+	if *stats {
+		reg = heteropart.NewMetrics()
+	}
+	env := heteropart.NewExpEnv(plat, *parallel, reg)
 	if *report {
-		doc, err := heteropart.MarkdownReport(plat)
+		doc, err := heteropart.MarkdownReportEnv(env)
 		fatal(err)
 		fmt.Print(doc)
+		printStats(reg)
 		return
 	}
 	exps := heteropart.Experiments()
@@ -53,13 +63,13 @@ func main() {
 		exps = []heteropart.Experiment{e}
 	}
 
+	tabs, err := heteropart.RunExperiments(env, exps)
+	fatal(err)
 	failures := 0
 	if *markdown {
 		fmt.Printf("# Experiments — paper vs measured\n\nPlatform: %s\n\n", plat)
 	}
-	for _, e := range exps {
-		tab, err := e.Run(plat)
-		fatal(err)
+	for _, tab := range tabs {
 		if *markdown {
 			fmt.Printf("## %s — %s\n\n", tab.ID, tab.Title)
 			fmt.Printf("```\n%s```\n\n", tab.Render())
@@ -84,6 +94,7 @@ func main() {
 			}
 		}
 	}
+	printStats(reg)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed their shape checks\n", failures)
 		os.Exit(1)
@@ -92,6 +103,14 @@ func main() {
 		fmt.Println(strings.Repeat("=", 60))
 		fmt.Printf("all %d experiments reproduce their paper claims\n", len(exps))
 	}
+}
+
+func printStats(reg *heteropart.Metrics) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "runner telemetry:")
+	fmt.Fprint(os.Stderr, reg.Text(0))
 }
 
 func fatal(err error) {

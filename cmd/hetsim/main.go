@@ -7,6 +7,13 @@
 //	hetsim -app HotSpot -strategy SP-Single
 //	hetsim -app STREAM-Seq -sync none -strategy DP-Perf -trace
 //	hetsim -app HotSpot -strategy DP-Perf -trace-out run.json -metrics
+//
+// Sweep mode shards the cross product of comma-separated -strategy
+// values and -sizes over a worker pool and prints one row per run, in
+// input order (byte-identical for any -parallel width):
+//
+//	hetsim -sweep -app BlackScholes -parallel 4
+//	hetsim -sweep -app MatrixMul -strategy SP-Single,DP-Perf -sizes 512,1024,2048
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"heteropart"
@@ -33,20 +41,19 @@ func main() {
 		traceFmt  = flag.String("trace-format", "chrome", "trace file format: chrome (trace-event JSON for chrome://tracing / Perfetto) or csv")
 		showMx    = flag.Bool("metrics", false, "print the metrics registry (Prometheus text exposition)")
 		compute   = flag.Bool("compute", false, "execute real kernels and verify the result (small sizes)")
+		sweep     = flag.Bool("sweep", false, "sweep mode: fan the cross product of -strategy (comma-separated, empty = all) and -sizes over a worker pool")
+		parallel  = flag.Int("parallel", 1, "worker pool width for -sweep (1 = sequential)")
+		sizes     = flag.String("sizes", "", "comma-separated problem sizes for -sweep (empty = the single -n)")
 	)
 	flag.Parse()
 	if *traceFmt != "chrome" && *traceFmt != "csv" {
 		fatal(fmt.Errorf("unknown -trace-format %q (want chrome or csv)", *traceFmt))
 	}
 
-	if *appName == "" || *stratName == "" {
+	if *appName == "" || (*stratName == "" && !*sweep) {
 		fmt.Fprintln(os.Stderr, "hetsim: -app and -strategy are required")
 		os.Exit(2)
 	}
-	app, err := heteropart.AppByName(*appName)
-	fatal(err)
-	strat, err := heteropart.StrategyByName(*stratName)
-	fatal(err)
 
 	sync := heteropart.SyncDefault
 	switch *syncMode {
@@ -60,6 +67,14 @@ func main() {
 	}
 
 	plat := heteropart.PaperPlatform(*m)
+	if *sweep {
+		runSweep(plat, sync, *appName, *stratName, *sizes, *n, *iters, *chunks, *compute, *parallel, *showMx)
+		return
+	}
+	app, err := heteropart.AppByName(*appName)
+	fatal(err)
+	strat, err := heteropart.StrategyByName(*stratName)
+	fatal(err)
 	problem, err := app.Build(heteropart.Variant{N: *n, Iters: *iters, Sync: sync, Compute: *compute})
 	fatal(err)
 
@@ -143,6 +158,64 @@ func main() {
 	if reg != nil {
 		fmt.Println("metrics:")
 		fmt.Print(reg.Text(out.Result.Makespan))
+	}
+}
+
+// runSweep fans the (strategy x size) cross product over the sweep
+// runner and prints one row per run, in spec order.
+func runSweep(plat *heteropart.Platform, sync heteropart.SyncMode,
+	appName, stratCSV, sizesCSV string, n int64, iters, chunks int,
+	compute bool, parallel int, showMx bool) {
+	var strats []string
+	if stratCSV == "" {
+		for _, s := range heteropart.Strategies() {
+			strats = append(strats, s.Name())
+		}
+	} else {
+		strats = strings.Split(stratCSV, ",")
+	}
+	ns := []int64{n}
+	if sizesCSV != "" {
+		ns = ns[:0]
+		for _, f := range strings.Split(sizesCSV, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			fatal(err)
+			ns = append(ns, v)
+		}
+	}
+	var reg *heteropart.Metrics
+	if showMx {
+		reg = heteropart.NewMetrics()
+	}
+	r := heteropart.NewRunner(heteropart.RunnerConfig{Workers: parallel, Metrics: reg})
+	var specs []heteropart.RunSpec
+	for _, nn := range ns {
+		for _, s := range strats {
+			specs = append(specs, heteropart.RunSpec{
+				App: appName, Strategy: s, Sync: sync, N: nn, Iters: iters,
+				Chunks: chunks, Compute: compute, Plat: plat,
+			})
+		}
+	}
+	results, err := r.RunAll(specs)
+	fatal(err)
+	// The pool width is deliberately absent from stdout: sweep output
+	// must be byte-identical for any -parallel value.
+	fmt.Printf("%s sweep on %s (%d runs)\n", appName, plat, len(specs))
+	fmt.Printf("%-12s  %10s  %12s  %9s\n", "strategy", "n", "makespan(ms)", "GPU share")
+	for i, res := range results {
+		out := res.Outcome
+		fmt.Printf("%-12s  %10d  %12.3f  %8.1f%%\n",
+			out.Strategy, specs[i].N, out.Result.Makespan.Milliseconds(), 100*out.GPURatio())
+		if compute && res.Verify != nil {
+			if err := res.Verify(); err != nil {
+				fatal(fmt.Errorf("%s n=%d: verification failed: %w", out.Strategy, specs[i].N, err))
+			}
+		}
+	}
+	if reg != nil {
+		fmt.Println("metrics:")
+		fmt.Print(reg.Text(0))
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"heteropart/internal/mem"
 	"heteropart/internal/metrics"
 	"heteropart/internal/rt"
+	"heteropart/internal/runner"
 	"heteropart/internal/sim"
 	"heteropart/internal/strategy"
 	"heteropart/internal/task"
@@ -167,6 +168,21 @@ type (
 	Experiment = exp.Experiment
 	// ResultTable is an experiment's rendered output.
 	ResultTable = exp.Table
+	// ExpEnv is the environment experiments run in: a platform plus
+	// the sweep runner sharding their simulations.
+	ExpEnv = exp.Env
+	// RunSpec names one independent simulation run for the sweep
+	// runner; its canonical encoding is the result-cache key.
+	RunSpec = runner.Spec
+	// RunResult is one measured RunSpec.
+	RunResult = runner.Result
+	// RunnerConfig parameterizes a sweep runner.
+	RunnerConfig = runner.Config
+	// Runner shards independent simulation runs over a bounded worker
+	// pool with a content-addressed result cache; results come back in
+	// input order, so rendered sweeps are byte-identical to sequential
+	// execution.
+	Runner = runner.Runner
 	// Metrics is a registry of runtime/scheduler instruments; pass one
 	// through Options.Metrics to collect execution telemetry.
 	Metrics = metrics.Registry
@@ -260,3 +276,24 @@ func ExperimentByID(id string) (Experiment, error) { return exp.ByID(id) }
 // MarkdownReport runs every experiment and renders the complete
 // EXPERIMENTS.md document (paper-vs-measured, with shape checks).
 func MarkdownReport(plat *Platform) (string, error) { return exp.MarkdownReport(plat) }
+
+// NewRunner builds a sweep runner.
+func NewRunner(cfg RunnerConfig) *Runner { return runner.New(cfg) }
+
+// NewExpEnv builds an experiment environment whose internal sweeps
+// shard over a pool of the given width (workers <= 1 is sequential).
+// reg may be nil; when set it receives the runner_* telemetry.
+func NewExpEnv(plat *Platform, workers int, reg *Metrics) *ExpEnv {
+	return exp.NewEnv(plat, workers, reg)
+}
+
+// RunExperiments fans the experiments over the environment's worker
+// pool and returns their tables in input order.
+func RunExperiments(env *ExpEnv, exps []Experiment) ([]*ResultTable, error) {
+	return exp.RunExperiments(env, exps)
+}
+
+// MarkdownReportEnv renders the EXPERIMENTS.md document through the
+// environment's sweep runner; the output is byte-identical to the
+// sequential MarkdownReport.
+func MarkdownReportEnv(env *ExpEnv) (string, error) { return exp.MarkdownReportEnv(env) }

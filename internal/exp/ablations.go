@@ -7,6 +7,7 @@ import (
 	"heteropart/internal/device"
 	"heteropart/internal/glinda"
 	"heteropart/internal/rt"
+	"heteropart/internal/runner"
 	"heteropart/internal/sched"
 	"heteropart/internal/strategy"
 	"heteropart/internal/task"
@@ -14,7 +15,8 @@ import (
 
 // Ablations isolates the design choices DESIGN.md calls out, running
 // each mechanism with and without its key ingredient.
-func Ablations(plat *device.Platform) (*Table, error) {
+func Ablations(env *Env) (*Table, error) {
+	plat := env.Plat
 	t := &Table{ID: "ablations", Title: "Design-choice ablations",
 		Columns: []string{"mechanism", "configuration", "time (ms)", "GPU share"}}
 
@@ -68,7 +70,7 @@ func Ablations(plat *device.Platform) (*Table, error) {
 
 	// 2. DP-Perf's data-aware writeback prediction (HotSpot: a blind
 	// scheduler overloads the transfer-bound GPU).
-	aware, err := runOne(plat, "HotSpot", apps.SyncDefault, "DP-Perf")
+	aware, err := env.runOne("HotSpot", apps.SyncDefault, "DP-Perf")
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +156,8 @@ func runDynSeeded(plat *device.Platform, appName string,
 
 // DAGRefine measures the Section-VII future-work idea on Cholesky:
 // statically mapping selected DAG kernels vs fully dynamic scheduling.
-func DAGRefine(plat *device.Platform) (*Table, error) {
+func DAGRefine(env *Env) (*Table, error) {
+	plat := env.Plat
 	t := &Table{ID: "dagrefine", Title: "MK-DAG refinement: static kernel mapping vs fully dynamic (extension)",
 		Columns: []string{"configuration", "time (ms)", "GPU share"}}
 	app, err := apps.ByName("Cholesky")
@@ -200,7 +203,7 @@ func DAGRefine(plat *device.Platform) (*Table, error) {
 // + PCIe 3.0), the paper's "other types of accelerators" future work:
 // the analyzer's class decision is platform-independent, but Glinda's
 // splits adapt.
-func Platforms(_ *device.Platform) (*Table, error) {
+func Platforms(env *Env) (*Table, error) {
 	t := &Table{ID: "platforms", Title: "Platform sensitivity: Tesla K20m vs GTX 680 (extension)",
 		Columns: []string{"app", "platform", "best", "time (ms)", "GPU share"}}
 	k20 := device.PaperPlatform(12)
@@ -214,10 +217,11 @@ func Platforms(_ *device.Platform) (*Table, error) {
 			name string
 			p    *device.Platform
 		}{{"K20m+PCIe2", k20}, {"GTX680+PCIe3", gtx}} {
-			out, err := runOne(pl.p, appName, apps.SyncDefault, "SP-Single")
+			res, err := env.R.Run(runner.Spec{App: appName, Strategy: "SP-Single", Plat: pl.p})
 			if err != nil {
 				return nil, err
 			}
+			out := res.Outcome
 			shares[key{appName, pl.name}] = out.GPURatio()
 			t.AddRow(appName, pl.name, "SP-Single", ms(out.Result.Makespan), pct(out.GPURatio()))
 		}
@@ -230,18 +234,12 @@ func Platforms(_ *device.Platform) (*Table, error) {
 
 // AutoTune demonstrates the Section-V auto-tuner: the swept best task
 // count for DP-Perf.
-func AutoTune(plat *device.Platform) (*Table, error) {
+func AutoTune(env *Env) (*Table, error) {
 	t := &Table{ID: "autotune", Title: "Task-size auto-tuning for dynamic partitioning (Section V)",
 		Columns: []string{"app", "chunks", "time (ms)", "chosen"}}
 	for _, appName := range []string{"BlackScholes", "HotSpot"} {
-		app, err := apps.ByName(appName)
-		if err != nil {
-			return nil, err
-		}
-		build := func() (*apps.Problem, error) {
-			return app.Build(apps.Variant{Spaces: 1 + len(plat.Accels)})
-		}
-		best, sweep, err := strategy.AutoTuneChunks(strategy.DPPerf{}, build, plat, strategy.Options{}, nil)
+		best, sweep, err := env.R.AutoTuneChunks(
+			runner.Spec{App: appName, Strategy: "DP-Perf", Plat: env.Plat}, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -265,17 +263,16 @@ func AutoTune(plat *device.Platform) (*Table, error) {
 // imbalance and worse performance compared to DP-Perf or even DP-Dep":
 // with two near-homogeneous kernels the unified split is not badly
 // imbalanced, and SP-Unified lands mid-field instead of last.
-func ConvolutionNatural(plat *device.Platform) (*Table, error) {
+func ConvolutionNatural(env *Env) (*Table, error) {
 	t := &Table{ID: "convolution", Title: "Separable convolution: naturally sync-requiring MK-Seq (extension)",
 		Columns: []string{"strategy", "time (ms)", "GPU share"}}
 	strats := []string{"Only-GPU", "Only-CPU", "SP-Varied", "DP-Perf", "DP-Dep", "SP-Unified"}
-	res := map[string]*strategy.Outcome{}
+	res, err := env.timesFor("Convolution", apps.SyncDefault, strats)
+	if err != nil {
+		return nil, err
+	}
 	for _, sname := range strats {
-		out, err := runOne(plat, "Convolution", apps.SyncDefault, sname)
-		if err != nil {
-			return nil, err
-		}
-		res[sname] = out
+		out := res[sname]
 		t.AddRow(sname, ms(out.Result.Makespan), pct(out.GPURatio()))
 	}
 	t.AddCheck("SP-Varied is the best strategy for the naturally synchronized sequence",
@@ -292,27 +289,27 @@ func ConvolutionNatural(plat *device.Platform) (*Table, error) {
 // to be a multiple of CPU cores in Only-CPU, and use the
 // best-performing one", Section IV-B): Only-CPU and the dynamic
 // strategies across m = {6, 12, 24, 48} worker threads.
-func MSweep(_ *device.Platform) (*Table, error) {
+func MSweep(env *Env) (*Table, error) {
 	t := &Table{ID: "msweep", Title: "Worker-thread count m sweep (BlackScholes)",
 		Columns: []string{"m", "Only-CPU (ms)", "DP-Perf (ms)"}}
-	app, err := apps.ByName("BlackScholes")
+	ms_ := []int{6, 12, 24, 48}
+	strats := []string{"Only-CPU", "DP-Perf"}
+	var specs []runner.Spec
+	for _, m := range ms_ {
+		plat := device.PaperPlatform(m)
+		for _, sname := range strats {
+			specs = append(specs, runner.Spec{App: "BlackScholes", Strategy: sname, Plat: plat})
+		}
+	}
+	results, err := env.R.RunAll(specs)
 	if err != nil {
 		return nil, err
 	}
 	bestOC, bestDP := 1e18, 1e18
-	for _, m := range []int{6, 12, 24, 48} {
-		plat := device.PaperPlatform(m)
+	for i, m := range ms_ {
 		row := []string{fmt.Sprintf("%d", m)}
-		for _, sname := range []string{"Only-CPU", "DP-Perf"} {
-			p, err := app.Build(apps.Variant{})
-			if err != nil {
-				return nil, err
-			}
-			s, _ := strategy.ByName(sname)
-			out, err := s.Run(p, plat, strategy.Options{})
-			if err != nil {
-				return nil, err
-			}
+		for j, sname := range strats {
+			out := results[i*len(strats)+j].Outcome
 			v := out.Result.Makespan.Milliseconds()
 			row = append(row, ms(out.Result.Makespan))
 			if sname == "Only-CPU" && v < bestOC {
@@ -336,23 +333,21 @@ func MSweep(_ *device.Platform) (*Table, error) {
 // MatrixMul's broadcast B matrix makes the GPU share shrink as the
 // problem shrinks — at small sizes the fixed transfer can no longer be
 // amortized.
-func SizeSweep(plat *device.Platform) (*Table, error) {
+func SizeSweep(env *Env) (*Table, error) {
 	t := &Table{ID: "sizesweep", Title: "Dataset sensitivity of the partitioning decision (MatrixMul)",
 		Columns: []string{"n", "config", "beta", "GPU share"}}
-	app, err := apps.ByName("MatrixMul")
+	sizes := []int64{512, 1024, 2048, 6144}
+	specs := make([]runner.Spec, len(sizes))
+	for i, n := range sizes {
+		specs[i] = runner.Spec{App: "MatrixMul", Strategy: "SP-Single", N: n, Plat: env.Plat}
+	}
+	results, err := env.R.RunAll(specs)
 	if err != nil {
 		return nil, err
 	}
 	var betas []float64
-	for _, n := range []int64{512, 1024, 2048, 6144} {
-		p, err := app.Build(apps.Variant{N: n, Spaces: 1 + len(plat.Accels)})
-		if err != nil {
-			return nil, err
-		}
-		out, err := (strategy.SPSingle{}).Run(p, plat, strategy.Options{})
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range sizes {
+		out := results[i].Outcome
 		dec := out.Decisions[""]
 		betas = append(betas, dec.Beta)
 		t.AddRow(fmt.Sprintf("%d", n), dec.Config.String(),
@@ -368,16 +363,17 @@ func SizeSweep(plat *device.Platform) (*Table, error) {
 // ICS'14 weighted pipeline (imbalance detection, weight-balanced
 // split, weight-equal CPU chunks) against the naive uniform model and
 // the dynamic strategies.
-func ImbalancedApp(plat *device.Platform) (*Table, error) {
+func ImbalancedApp(env *Env) (*Table, error) {
+	plat := env.Plat
 	t := &Table{ID: "triangular", Title: "Imbalanced workload: packed triangular reduction (extension)",
 		Columns: []string{"strategy", "time (ms)", "GPU elem share"}}
-	res := map[string]*strategy.Outcome{}
-	for _, sname := range []string{"Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep"} {
-		out, err := runOne(plat, "Triangular", apps.SyncDefault, sname)
-		if err != nil {
-			return nil, err
-		}
-		res[sname] = out
+	strats := []string{"Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep"}
+	res, err := env.timesFor("Triangular", apps.SyncDefault, strats)
+	if err != nil {
+		return nil, err
+	}
+	for _, sname := range strats {
+		out := res[sname]
 		t.AddRow(sname, ms(out.Result.Makespan), pct(out.GPURatio()))
 	}
 

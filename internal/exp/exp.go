@@ -10,12 +10,38 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"heteropart/internal/apps"
 	"heteropart/internal/device"
+	"heteropart/internal/metrics"
+	"heteropart/internal/runner"
 	"heteropart/internal/sim"
 	"heteropart/internal/strategy"
 )
+
+// Env is the execution environment experiments run in: the platform
+// under evaluation plus the sweep runner that shards the environment's
+// simulation runs over a worker pool. A sequential Env (Workers 1)
+// and a parallel one produce byte-identical tables — the runner
+// reassembles results in input order and every run is an isolated
+// virtual-time world.
+type Env struct {
+	Plat *device.Platform
+	R    *runner.Runner
+}
+
+// NewEnv builds an environment for the given platform with a
+// result-cached runner of the given width (workers <= 1 means
+// sequential). reg may be nil; when set it receives the runner_*
+// telemetry series.
+func NewEnv(plat *device.Platform, workers int, reg *metrics.Registry) *Env {
+	return &Env{Plat: plat, R: runner.New(runner.Config{Workers: workers, Metrics: reg})}
+}
+
+// envFor wraps a bare platform in a sequential environment (the
+// compatibility path for Experiment.Run).
+func envFor(plat *device.Platform) *Env { return NewEnv(plat, 1, nil) }
 
 // Table is a rendered result grid.
 type Table struct {
@@ -118,7 +144,46 @@ func (t *Table) CSV() string {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(plat *device.Platform) (*Table, error)
+	run   func(env *Env) (*Table, error)
+}
+
+// Run regenerates the artifact sequentially on the given platform
+// (the historical entry point; sweeps inside the experiment still go
+// through a private result-cached runner).
+func (e Experiment) Run(plat *device.Platform) (*Table, error) {
+	return e.run(envFor(plat))
+}
+
+// RunEnv regenerates the artifact in the given environment, sharing
+// its worker pool and result cache with other experiments.
+func (e Experiment) RunEnv(env *Env) (*Table, error) { return e.run(env) }
+
+// RunExperiments executes the experiments, fanning them out over the
+// environment's worker budget, and returns their tables in input
+// order. Each experiment's internal sweeps additionally shard over
+// the same runner, so a single slow experiment still saturates the
+// pool. The assembled output is byte-identical to a sequential run.
+func RunExperiments(env *Env, exps []Experiment) ([]*Table, error) {
+	tables := make([]*Table, len(exps))
+	errs := make([]error, len(exps))
+	sem := make(chan struct{}, env.R.Workers())
+	var wg sync.WaitGroup
+	for i := range exps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tables[i], errs[i] = exps[i].run(env)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return tables, fmt.Errorf("exp: %s: %w", exps[i].ID, err)
+		}
+	}
+	return tables, nil
 }
 
 // All returns every experiment in paper order.
@@ -169,32 +234,31 @@ func ms(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Milliseconds()) }
 // pct formats a ratio as a percentage.
 func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
 
-// runOne builds a fresh problem and executes one strategy.
-func runOne(plat *device.Platform, appName string, sync apps.SyncMode, stratName string) (*strategy.Outcome, error) {
-	app, err := apps.ByName(appName)
+// runOne executes one (app, sync, strategy) point on the environment's
+// platform through the sweep runner (cached, possibly on another
+// worker).
+func (env *Env) runOne(appName string, sync apps.SyncMode, stratName string) (*strategy.Outcome, error) {
+	res, err := env.R.Run(runner.Spec{App: appName, Strategy: stratName, Sync: sync, Plat: env.Plat})
 	if err != nil {
 		return nil, err
 	}
-	p, err := app.Build(apps.Variant{Sync: sync, Spaces: 1 + len(plat.Accels)})
-	if err != nil {
-		return nil, err
-	}
-	s, err := strategy.ByName(stratName)
-	if err != nil {
-		return nil, err
-	}
-	return s.Run(p, plat, strategy.Options{})
+	return res.Outcome, nil
 }
 
-// timesFor measures every strategy in order for one app variant.
-func timesFor(plat *device.Platform, appName string, sync apps.SyncMode, strats []string) (map[string]*strategy.Outcome, error) {
+// timesFor measures every strategy for one app variant, sharding the
+// strategies over the runner's pool.
+func (env *Env) timesFor(appName string, sync apps.SyncMode, strats []string) (map[string]*strategy.Outcome, error) {
+	specs := make([]runner.Spec, len(strats))
+	for i, s := range strats {
+		specs[i] = runner.Spec{App: appName, Strategy: s, Sync: sync, Plat: env.Plat}
+	}
+	results, err := env.R.RunAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", appName, err)
+	}
 	out := make(map[string]*strategy.Outcome, len(strats))
-	for _, s := range strats {
-		o, err := runOne(plat, appName, sync, s)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", appName, s, err)
-		}
-		out[s] = o
+	for i, s := range strats {
+		out[s] = results[i].Outcome
 	}
 	return out, nil
 }

@@ -120,8 +120,7 @@ func TestChartPercentColumns(t *testing.T) {
 }
 
 func TestRealFigureCharts(t *testing.T) {
-	plat := device.PaperPlatform(12)
-	tab, err := Fig5a(plat)
+	tab, err := Fig5a(envFor(device.PaperPlatform(12)))
 	if err != nil {
 		t.Fatal(err)
 	}

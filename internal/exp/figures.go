@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"heteropart/internal/apps"
-	"heteropart/internal/device"
 	"heteropart/internal/sim"
 	"heteropart/internal/strategy"
 )
@@ -19,8 +18,8 @@ var skConfigs = []string{"Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep
 var mkConfigs = []string{"Only-GPU", "Only-CPU", "SP-Unified", "DP-Perf", "DP-Dep", "SP-Varied"}
 
 // Fig5a reproduces MatrixMul's comparison (Section IV-B1).
-func Fig5a(plat *device.Platform) (*Table, error) {
-	res, err := timesFor(plat, "MatrixMul", apps.SyncDefault, skConfigs)
+func Fig5a(env *Env) (*Table, error) {
+	res, err := env.timesFor("MatrixMul", apps.SyncDefault, skConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -45,8 +44,8 @@ func Fig5a(plat *device.Platform) (*Table, error) {
 }
 
 // Fig5b reproduces BlackScholes' comparison (Section IV-B1).
-func Fig5b(plat *device.Platform) (*Table, error) {
-	res, err := timesFor(plat, "BlackScholes", apps.SyncDefault, skConfigs)
+func Fig5b(env *Env) (*Table, error) {
+	res, err := env.timesFor("BlackScholes", apps.SyncDefault, skConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -82,12 +81,12 @@ func fastestInverse(res map[string]*strategy.Outcome) string {
 }
 
 // Fig6 reports the SK-One partitioning ratios.
-func Fig6(plat *device.Platform) (*Table, error) {
+func Fig6(env *Env) (*Table, error) {
 	t := &Table{ID: "fig6", Title: "Partitioning ratio of different strategies in SK-One",
 		Columns: []string{"app", "strategy", "CPU", "GPU"}}
 	for _, appName := range []string{"MatrixMul", "BlackScholes"} {
 		for _, s := range []string{"SP-Single", "DP-Perf", "DP-Dep"} {
-			o, err := runOne(plat, appName, apps.SyncDefault, s)
+			o, err := env.runOne(appName, apps.SyncDefault, s)
 			if err != nil {
 				return nil, err
 			}
@@ -98,8 +97,8 @@ func Fig6(plat *device.Platform) (*Table, error) {
 }
 
 // Fig7a reproduces Nbody's comparison (Section IV-B2).
-func Fig7a(plat *device.Platform) (*Table, error) {
-	res, err := timesFor(plat, "Nbody", apps.SyncDefault, skConfigs)
+func Fig7a(env *Env) (*Table, error) {
+	res, err := env.timesFor("Nbody", apps.SyncDefault, skConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +117,8 @@ func Fig7a(plat *device.Platform) (*Table, error) {
 }
 
 // Fig7b reproduces HotSpot's comparison (Section IV-B2).
-func Fig7b(plat *device.Platform) (*Table, error) {
-	res, err := timesFor(plat, "HotSpot", apps.SyncDefault, skConfigs)
+func Fig7b(env *Env) (*Table, error) {
+	res, err := env.timesFor("HotSpot", apps.SyncDefault, skConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -138,12 +137,12 @@ func Fig7b(plat *device.Platform) (*Table, error) {
 }
 
 // Fig8 reports the SK-Loop partitioning ratios.
-func Fig8(plat *device.Platform) (*Table, error) {
+func Fig8(env *Env) (*Table, error) {
 	t := &Table{ID: "fig8", Title: "Partitioning ratio of different strategies in SK-Loop",
 		Columns: []string{"app", "strategy", "CPU", "GPU"}}
 	for _, appName := range []string{"Nbody", "HotSpot"} {
 		for _, s := range []string{"SP-Single", "DP-Perf", "DP-Dep"} {
-			o, err := runOne(plat, appName, apps.SyncDefault, s)
+			o, err := env.runOne(appName, apps.SyncDefault, s)
 			if err != nil {
 				return nil, err
 			}
@@ -155,12 +154,12 @@ func Fig8(plat *device.Platform) (*Table, error) {
 
 // Fig9 reproduces STREAM-Seq with and without inter-kernel sync
 // (Section IV-B3).
-func Fig9(plat *device.Platform) (*Table, error) {
-	wo, err := timesFor(plat, "STREAM-Seq", apps.SyncNone, mkConfigs)
+func Fig9(env *Env) (*Table, error) {
+	wo, err := env.timesFor("STREAM-Seq", apps.SyncNone, mkConfigs)
 	if err != nil {
 		return nil, err
 	}
-	w, err := timesFor(plat, "STREAM-Seq", apps.SyncForced, mkConfigs)
+	w, err := env.timesFor("STREAM-Seq", apps.SyncForced, mkConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -185,18 +184,18 @@ func Fig9(plat *device.Platform) (*Table, error) {
 
 // Fig10 reports the MK-Seq partitioning ratios, including SP-Varied's
 // per-kernel points.
-func Fig10(plat *device.Platform) (*Table, error) {
+func Fig10(env *Env) (*Table, error) {
 	t := &Table{ID: "fig10", Title: "Partitioning ratio of different strategies in MK-Seq",
 		Columns: []string{"strategy", "kernel", "CPU", "GPU"}}
 	for _, s := range []string{"SP-Unified", "DP-Perf", "DP-Dep"} {
-		o, err := runOne(plat, "STREAM-Seq", apps.SyncNone, s)
+		o, err := env.runOne("STREAM-Seq", apps.SyncNone, s)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(s, "(all)", pct(1-o.GPURatio()), pct(o.GPURatio()))
 	}
 	// SP-Varied per kernel (only meaningful in the w-sync case).
-	o, err := runOne(plat, "STREAM-Seq", apps.SyncForced, "SP-Varied")
+	o, err := env.runOne("STREAM-Seq", apps.SyncForced, "SP-Varied")
 	if err != nil {
 		return nil, err
 	}
@@ -211,12 +210,12 @@ func Fig10(plat *device.Platform) (*Table, error) {
 
 // Fig11 reproduces STREAM-Loop with and without inter-kernel sync
 // (Section IV-B4).
-func Fig11(plat *device.Platform) (*Table, error) {
-	wo, err := timesFor(plat, "STREAM-Loop", apps.SyncNone, mkConfigs)
+func Fig11(env *Env) (*Table, error) {
+	wo, err := env.timesFor("STREAM-Loop", apps.SyncNone, mkConfigs)
 	if err != nil {
 		return nil, err
 	}
-	w, err := timesFor(plat, "STREAM-Loop", apps.SyncForced, mkConfigs)
+	w, err := env.timesFor("STREAM-Loop", apps.SyncForced, mkConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -275,14 +274,14 @@ func strings12(label string, names ...string) bool {
 // Fig12 reproduces the speedup summary: the best partitioning strategy
 // against the Only-GPU and Only-CPU executions per application, with
 // the averages the paper headlines (3.0x / 5.3x).
-func Fig12(plat *device.Platform) (*Table, error) {
+func Fig12(env *Env) (*Table, error) {
 	t := &Table{ID: "fig12", Title: "Speedup of the best strategy vs Only-GPU (OG) and Only-CPU (OC)",
 		Columns: []string{"app", "best strategy", "vs OG", "vs OC"}}
 	var sumOG, sumOC float64
 	allAbove := true
 	for _, c := range fig12Cases {
 		best := bestStrategyFor(c.Label)
-		res, err := timesFor(plat, c.App, c.Sync, []string{best, "Only-GPU", "Only-CPU"})
+		res, err := env.timesFor(c.App, c.Sync, []string{best, "Only-GPU", "Only-CPU"})
 		if err != nil {
 			return nil, err
 		}

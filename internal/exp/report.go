@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"heteropart/internal/analyzer"
-	"heteropart/internal/apps"
 	"heteropart/internal/device"
 	"heteropart/internal/metrics"
-	"heteropart/internal/strategy"
+	"heteropart/internal/runner"
 )
 
 // summaryRows maps paper artifacts to their reproduction status for
@@ -35,10 +33,19 @@ var summaryRows = [][2]string{
 	{"§VII / extensions", "multi-accelerator water-filling, imbalanced workloads end to end (Triangular), MK-DAG refinement, implements clause, platform & dataset sensitivity, ablations"},
 }
 
-// MarkdownReport runs every experiment and renders the complete
-// EXPERIMENTS.md document: preamble, summary table, then the raw
-// regenerated tables with their paper-claim checks.
+// MarkdownReport runs every experiment sequentially and renders the
+// complete EXPERIMENTS.md document: preamble, summary table, then the
+// raw regenerated tables with their paper-claim checks.
 func MarkdownReport(plat *device.Platform) (string, error) {
+	return MarkdownReportEnv(envFor(plat))
+}
+
+// MarkdownReportEnv renders the same document through the
+// environment's sweep runner: the experiments (and the sweeps inside
+// them) shard over the worker pool, and the assembled document is
+// byte-identical to the sequential MarkdownReport.
+func MarkdownReportEnv(env *Env) (string, error) {
+	plat := env.Plat
 	var b strings.Builder
 	b.WriteString(`# EXPERIMENTS — paper vs measured
 
@@ -62,15 +69,16 @@ DESIGN.md §4.
 | Paper artifact | Claim | Status |
 |---|---|---|
 `)
+	exps := All()
+	tables, err := RunExperiments(env, exps)
+	if err != nil {
+		return "", err
+	}
 	results := make(map[string]*Table)
 	allPass := true
-	for _, e := range All() {
-		tab, err := e.Run(plat)
-		if err != nil {
-			return "", fmt.Errorf("exp: %s: %w", e.ID, err)
-		}
-		results[e.ID] = tab
-		if !tab.AllPass() {
+	for i, e := range exps {
+		results[e.ID] = tables[i]
+		if !tables[i].AllPass() {
 			allPass = false
 		}
 	}
@@ -83,12 +91,12 @@ DESIGN.md §4.
 	}
 	fmt.Fprintf(&b, "\nPlatform: %s\n\n", plat)
 
-	for _, e := range All() {
+	for _, e := range exps {
 		tab := results[e.ID]
 		fmt.Fprintf(&b, "## %s — %s\n\n", tab.ID, tab.Title)
 		fmt.Fprintf(&b, "```\n%s```\n\n", tab.Render())
 	}
-	appendix, err := metricsAppendix(plat)
+	appendix, err := metricsAppendix(env)
 	if err != nil {
 		return "", err
 	}
@@ -101,7 +109,8 @@ DESIGN.md §4.
 // the collected execution telemetry. Only virtual-time series appear
 // here (the registry also carries wall-clock gauges, which would break
 // the report's byte-for-byte determinism).
-func metricsAppendix(plat *device.Platform) (string, error) {
+func metricsAppendix(env *Env) (string, error) {
+	plat := env.Plat
 	var b strings.Builder
 	b.WriteString(`## Appendix — execution metrics
 
@@ -114,21 +123,17 @@ data is available from any run via ` + "`hetsim -metrics`" + `).
 `)
 	appNames := []string{"MatrixMul", "BlackScholes", "Nbody", "HotSpot",
 		"STREAM-Seq", "STREAM-Loop"}
-	for _, name := range appNames {
-		app, err := apps.ByName(name)
-		if err != nil {
-			return "", err
-		}
-		p, err := app.Build(apps.Variant{Spaces: 1 + len(plat.Accels)})
-		if err != nil {
-			return "", err
-		}
-		reg := metrics.NewRegistry()
-		_, out, err := analyzer.Matchmake(p, plat, strategy.Options{Metrics: reg})
-		if err != nil {
-			return "", fmt.Errorf("exp: metrics appendix %s: %w", name, err)
-		}
-		snap := reg.Snapshot(out.Result.Makespan)
+	specs := make([]runner.Spec, len(appNames))
+	for i, name := range appNames {
+		specs[i] = runner.Spec{App: name, WithMetrics: true, Plat: env.Plat}
+	}
+	rs, err := env.R.RunAll(specs)
+	if err != nil {
+		return "", fmt.Errorf("exp: metrics appendix: %w", err)
+	}
+	for i, name := range appNames {
+		out := rs[i].Outcome
+		snap := rs[i].Metrics.Snapshot(out.Result.Makespan)
 		get := func(series string) float64 {
 			pt, _ := snap.Get(series)
 			return pt.Value

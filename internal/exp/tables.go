@@ -9,6 +9,7 @@ import (
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
 	"heteropart/internal/glinda"
+	"heteropart/internal/runner"
 	"heteropart/internal/strategy"
 )
 
@@ -16,7 +17,8 @@ import (
 // every application variant, run all suitable strategies and check the
 // measured ordering against the theoretical one (Section IV-B5: "The
 // performance ranking ... matches the theoretical ranking").
-func Table1(plat *device.Platform) (*Table, error) {
+func Table1(env *Env) (*Table, error) {
+	plat := env.Plat
 	t := &Table{ID: "table1", Title: "Suitable strategies: theoretical vs empirical ranking",
 		Columns: []string{"app", "class", "sync", "theoretical", "empirical", "match"}}
 	cases := []struct {
@@ -72,7 +74,8 @@ func join(names []string) string {
 
 // Table2 reproduces the application table: each evaluation application
 // classified by the analyzer.
-func Table2(plat *device.Platform) (*Table, error) {
+func Table2(env *Env) (*Table, error) {
+	plat := env.Plat
 	t := &Table{ID: "table2", Title: "Applications for evaluation",
 		Columns: []string{"application", "class (paper)", "class (classifier)", "origin"}}
 	expected := []struct {
@@ -109,7 +112,8 @@ func Table2(plat *device.Platform) (*Table, error) {
 
 // Table3 renders the modeled platform against the paper's hardware
 // table.
-func Table3(plat *device.Platform) (*Table, error) {
+func Table3(env *Env) (*Table, error) {
+	plat := env.Plat
 	t := &Table{ID: "table3", Title: "The hardware components of the platform",
 		Columns: []string{"property", plat.Host.Name, accelName(plat)}}
 	add := func(prop, c, g string) { t.AddRow(prop, c, g) }
@@ -153,7 +157,7 @@ func accelProp(plat *device.Platform, f func(*device.Device) string) string {
 
 // Study86 reproduces the Section III-B coverage claim over the
 // reconstructed 86-application catalog.
-func Study86(*device.Platform) (*Table, error) {
+func Study86(*Env) (*Table, error) {
 	t := &Table{ID: "study86", Title: "Kernel-structure study (reconstructed catalog)",
 		Columns: []string{"class", "applications"}}
 	cov, err := classify.CoverageByClass()
@@ -180,15 +184,15 @@ func Study86(*device.Platform) (*Table, error) {
 // Convert demonstrates the Discussion-section recipe: a dynamic
 // implementation pinned by the converted static ratio lands close to
 // the true static strategy and well ahead of plain dynamic scheduling.
-func Convert(plat *device.Platform) (*Table, error) {
+func Convert(env *Env) (*Table, error) {
 	t := &Table{ID: "convert", Title: "Making dynamic partitioning behave like static (Section V)",
 		Columns: []string{"app", "strategy", "time (ms)"}}
 	for _, appName := range []string{"BlackScholes", "Nbody"} {
-		res, err := timesFor(plat, appName, apps.SyncDefault, []string{"SP-Single", "DP-Perf"})
+		res, err := env.timesFor(appName, apps.SyncDefault, []string{"SP-Single", "DP-Perf"})
 		if err != nil {
 			return nil, err
 		}
-		conv, err := runOne(plat, appName, apps.SyncDefault, "DP-Converted")
+		conv, err := env.runOne(appName, apps.SyncDefault, "DP-Converted")
 		if err != nil {
 			return nil, err
 		}
@@ -206,32 +210,28 @@ func Convert(plat *device.Platform) (*Table, error) {
 // TaskSize sweeps the dynamic task count (the granularity knob of
 // Section V: "the task size variation leads to performance variation;
 // auto-tuning is recommended").
-func TaskSize(plat *device.Platform) (*Table, error) {
+func TaskSize(env *Env) (*Table, error) {
 	t := &Table{ID: "tasksize", Title: "Task-size sensitivity of dynamic partitioning (BlackScholes, DP-Perf)",
 		Columns: []string{"task instances (m)", "time (ms)"}}
-	app, err := apps.ByName("BlackScholes")
+	chunks := []int{6, 12, 24, 48, 96}
+	specs := make([]runner.Spec, len(chunks))
+	for i, m := range chunks {
+		specs[i] = runner.Spec{App: "BlackScholes", Strategy: "DP-Perf", Chunks: m, Plat: env.Plat}
+	}
+	results, err := env.R.RunAll(specs)
 	if err != nil {
 		return nil, err
 	}
-	s, _ := strategy.ByName("DP-Perf")
 	best, worst := math.Inf(1), 0.0
-	for _, m := range []int{6, 12, 24, 48, 96} {
-		p, err := app.Build(apps.Variant{Spaces: 1 + len(plat.Accels)})
-		if err != nil {
-			return nil, err
-		}
-		out, err := s.Run(p, plat, strategy.Options{Chunks: m})
-		if err != nil {
-			return nil, err
-		}
-		v := out.Result.Makespan.Milliseconds()
+	for i, res := range results {
+		v := res.Outcome.Result.Makespan.Milliseconds()
 		if v < best {
 			best = v
 		}
 		if v > worst {
 			worst = v
 		}
-		t.AddRow(fmt.Sprintf("%d", m), ms(out.Result.Makespan))
+		t.AddRow(fmt.Sprintf("%d", chunks[i]), ms(res.Outcome.Result.Makespan))
 	}
 	t.AddCheck("task size variation leads to performance variation", worst > best*1.02,
 		fmt.Sprintf("spread %.0f%%", 100*(worst-best)/best))
@@ -241,7 +241,7 @@ func TaskSize(plat *device.Platform) (*Table, error) {
 // MultiAccel exercises the multi-accelerator extension (the paper's
 // future work): Glinda's water-filling split across a CPU, a K20m and
 // a Xeon-Phi-like accelerator.
-func MultiAccel(*device.Platform) (*Table, error) {
+func MultiAccel(*Env) (*Table, error) {
 	plat3 := device.NewPlatform(device.XeonE5_2620(), 12,
 		device.Attachment{Model: device.TeslaK20m(), Link: device.PCIeGen2x16()},
 		device.Attachment{Model: device.XeonPhi5110P(), Link: device.PCIeGen3x16()},
@@ -286,7 +286,7 @@ func MultiAccel(*device.Platform) (*Table, error) {
 // Imbalance exercises the imbalanced-workload extension (Glinda
 // ICS'14): a triangular per-element weight profile moves the split
 // point past the uniform one.
-func Imbalance(plat *device.Platform) (*Table, error) {
+func Imbalance(*Env) (*Table, error) {
 	t := &Table{ID: "imbalance", Title: "Imbalanced-workload partitioning (extension)",
 		Columns: []string{"weight profile", "split point", "GPU share of elements"}}
 	n := int64(1 << 20)

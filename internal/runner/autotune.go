@@ -1,0 +1,42 @@
+package runner
+
+import (
+	"fmt"
+
+	"heteropart/internal/sim"
+	"heteropart/internal/strategy"
+)
+
+// AutoTuneChunks is the sharded version of strategy.AutoTuneChunks:
+// the candidate task counts are measured concurrently over the worker
+// pool instead of one after another. The sweep result and the selected
+// best are identical to the sequential tuner's (ties break toward the
+// earliest candidate, as the sequential loop does).
+func (r *Runner) AutoTuneChunks(base Spec, candidates []int) (int, []strategy.TunePoint, error) {
+	if len(candidates) == 0 {
+		candidates = strategy.DefaultChunkCandidates
+	}
+	specs := make([]Spec, len(candidates))
+	for i, m := range candidates {
+		if m <= 0 {
+			return 0, nil, fmt.Errorf("runner: invalid chunk candidate %d", m)
+		}
+		s := base
+		s.Chunks = m
+		specs[i] = s
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		return 0, nil, fmt.Errorf("runner: auto-tune: %w", err)
+	}
+	best, bestT := -1, sim.MaxTime
+	sweep := make([]strategy.TunePoint, len(results))
+	for i, res := range results {
+		t := res.Outcome.Result.Makespan
+		sweep[i] = strategy.TunePoint{Chunks: candidates[i], Makespan: t}
+		if t < bestT {
+			best, bestT = candidates[i], t
+		}
+	}
+	return best, sweep, nil
+}

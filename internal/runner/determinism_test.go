@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+)
+
+// wallClockSeries are the documented nondeterministic series: they
+// measure host time, not virtual time (DESIGN.md §8), so determinism
+// comparisons strip them. The runner_worker_* series live on the
+// runner's own registry, never on a run's, so they need no stripping
+// here.
+var wallClockSeries = []string{"sim_wall_ns", "sim_virtual_wall_ratio"}
+
+// stripWallClock removes the wall-clock series (and their HELP/TYPE
+// headers) from a metrics text exposition.
+func stripWallClock(text string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		skip := false
+		for _, s := range wallClockSeries {
+			if strings.Contains(line, s) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// randomSpecs draws small specs from a fixed seed, so the property
+// test is reproducible while still covering a varied slice of the
+// space.
+func randomSpecs(n int) []Spec {
+	rng := rand.New(rand.NewSource(1))
+	apps_ := []string{"MatrixMul", "BlackScholes", "Nbody", "HotSpot", "STREAM-Seq", "STREAM-Loop"}
+	skStrats := []string{"", "SP-Single", "DP-Perf", "DP-Dep", "Only-CPU", "Only-GPU"}
+	mkStrats := []string{"", "SP-Unified", "SP-Varied", "DP-Perf", "DP-Dep", "Only-CPU", "Only-GPU"}
+	sizes := map[string][]int64{
+		"MatrixMul":    {256, 384, 512},
+		"BlackScholes": {2048, 4096, 8192},
+		"Nbody":        {512, 1024},
+		"HotSpot":      {64, 128},
+		"STREAM-Seq":   {2048, 4096},
+		"STREAM-Loop":  {2048, 4096},
+	}
+	specs := make([]Spec, 0, n)
+	for len(specs) < n {
+		app := apps_[rng.Intn(len(apps_))]
+		strats := skStrats
+		if strings.HasPrefix(app, "STREAM") {
+			strats = mkStrats
+		}
+		s := Spec{
+			App:          app,
+			Strategy:     strats[rng.Intn(len(strats))],
+			N:            sizes[app][rng.Intn(len(sizes[app]))],
+			Chunks:       []int{0, 6, 24}[rng.Intn(3)],
+			WithMetrics:  true,
+			CollectTrace: true,
+		}
+		if rng.Intn(4) == 0 {
+			s.Plat = device.PaperPlatform([]int{6, 24}[rng.Intn(2)])
+		}
+		if strings.HasPrefix(app, "STREAM") {
+			s.Sync = []apps.SyncMode{apps.SyncNone, apps.SyncForced}[rng.Intn(2)]
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// TestParallelByteDeterminism is the determinism property test: a bag
+// of randomized small specs must produce byte-identical artifacts —
+// outcome numbers, metrics text (minus the documented wall-clock
+// series), and Chrome-trace JSON — whether executed sequentially or
+// over pools of 2, 4 and 8 workers.
+func TestParallelByteDeterminism(t *testing.T) {
+	specs := randomSpecs(24)
+	type artifact struct {
+		makespan int64
+		metrics  string
+		trace    []byte
+	}
+	render := func(workers int) []artifact {
+		t.Helper()
+		r := New(Config{Workers: workers})
+		results, err := r.RunAll(specs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		arts := make([]artifact, len(results))
+		for i, res := range results {
+			var buf bytes.Buffer
+			if err := res.Outcome.Trace.ChromeTrace(&buf); err != nil {
+				t.Fatalf("workers=%d: %s: %v", workers, specs[i], err)
+			}
+			arts[i] = artifact{
+				makespan: int64(res.Outcome.Result.Makespan),
+				metrics:  stripWallClock(res.Metrics.Text(res.Outcome.Result.Makespan)),
+				trace:    buf.Bytes(),
+			}
+		}
+		return arts
+	}
+	ref := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := render(workers)
+		for i := range specs {
+			if got[i].makespan != ref[i].makespan {
+				t.Errorf("workers=%d: %s: makespan %d != sequential %d",
+					workers, specs[i], got[i].makespan, ref[i].makespan)
+			}
+			if got[i].metrics != ref[i].metrics {
+				t.Errorf("workers=%d: %s: metrics text differs from sequential",
+					workers, specs[i])
+			}
+			if !bytes.Equal(got[i].trace, ref[i].trace) {
+				t.Errorf("workers=%d: %s: Chrome trace differs from sequential",
+					workers, specs[i])
+			}
+		}
+	}
+}
+
+// TestWallClockSeriesExist pins the documented exception list: the
+// series this package strips must actually exist, so a rename cannot
+// silently turn the determinism test into a tautology.
+func TestWallClockSeriesExist(t *testing.T) {
+	r := New(Config{Workers: 1})
+	res, err := r.Run(Spec{App: "MatrixMul", Strategy: "SP-Single", WithMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Metrics.Text(res.Outcome.Result.Makespan)
+	for _, s := range wallClockSeries {
+		if !strings.Contains(text, s) {
+			t.Errorf("documented wall-clock series %s not present in run metrics", s)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/strategy"
+)
+
+// matrixSizes are compute-friendly problem sizes per app (small enough
+// that real kernels finish quickly).
+var matrixSizes = map[string]struct {
+	n     int64
+	iters int
+}{
+	"MatrixMul":    {48, 1},
+	"BlackScholes": {5000, 1},
+	"Nbody":        {256, 2},
+	"HotSpot":      {32, 2},
+	"STREAM-Seq":   {4096, 1},
+	"STREAM-Loop":  {2048, 2},
+	"Cholesky":     {64, 1},
+	"Convolution":  {32, 1},
+	"Triangular":   {512, 1},
+}
+
+// TestComputeMatrixParallelMatchesSequential pushes the full
+// (application x strategy) compute-mode matrix through a parallel
+// runner and checks every run against the sequential reference:
+// the computed buffers verify bit-for-bit (Problem.Verify compares
+// against a sequential CPU execution), and the measured partition is
+// identical to a sequential runner's.
+func TestComputeMatrixParallelMatchesSequential(t *testing.T) {
+	appNames := []string{"MatrixMul", "BlackScholes", "Nbody", "HotSpot",
+		"STREAM-Seq", "STREAM-Loop", "Cholesky", "Convolution", "Triangular"}
+	var specs []Spec
+	for _, appName := range appNames {
+		cfg := matrixSizes[appName]
+		app, err := apps.ByName(appName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sync := range []apps.SyncMode{apps.SyncNone, apps.SyncForced} {
+			probe, err := app.Build(apps.Variant{N: cfg.n, Iters: cfg.iters, Sync: sync, Compute: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cls, needsSync := probe.Class(), probe.NeedsSync()
+			for _, s := range strategy.All() {
+				if !s.Applicable(cls, needsSync) {
+					continue
+				}
+				if probe.AtomicPhases && s.Name() == "DP-Converted" {
+					continue
+				}
+				specs = append(specs, Spec{
+					App: appName, Strategy: s.Name(), Sync: sync,
+					N: cfg.n, Iters: cfg.iters, Compute: true,
+				})
+			}
+		}
+	}
+	if len(specs) < 30 {
+		t.Fatalf("matrix too small: %d pairs", len(specs))
+	}
+
+	seq := New(Config{Workers: 1})
+	par := New(Config{Workers: 8})
+	refs, err := seq.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := par.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		ref, got := refs[i], results[i]
+		if got.Verify == nil {
+			t.Fatalf("%s: compute run without a verifier", spec)
+		}
+		if err := got.Verify(); err != nil {
+			t.Errorf("%s: parallel result does not match the sequential reference: %v", spec, err)
+		}
+		if got.Outcome.Result.Makespan != ref.Outcome.Result.Makespan {
+			t.Errorf("%s: parallel makespan %v != sequential %v",
+				spec, got.Outcome.Result.Makespan, ref.Outcome.Result.Makespan)
+		}
+		for dev, el := range ref.Outcome.Result.ElemsByDevice {
+			if got.Outcome.Result.ElemsByDevice[dev] != el {
+				t.Errorf("%s: device %d partition %d != sequential %d",
+					spec, dev, got.Outcome.Result.ElemsByDevice[dev], el)
+			}
+		}
+		if got.Outcome.Result.Instances != ref.Outcome.Result.Instances {
+			t.Errorf("%s: instance count differs from sequential", spec)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package runner is the sharded sweep executor: it fans independent
+// simulation runs out over a bounded worker pool and reassembles the
+// results in input order, so everything rendered from a sweep (tables,
+// EXPERIMENTS.md, CSV) is byte-identical to a sequential run.
+//
+// Each run is one self-contained virtual-time world — its own problem
+// build (buffers, directory), platform view, scheduler, simulation
+// engine, trace and metrics registry — so runs never share mutable
+// state and the whole pool is race-clean by construction (enforced by
+// `make race`).
+//
+// A content-addressed result cache keyed by the canonical Spec
+// encoding (Spec.Key) lets repeated sweeps — auto-tuning, ratio
+// sweeps, report regeneration — skip already-measured points. Lookups
+// are single-flight: concurrent requests for the same key coalesce
+// onto one execution and all receive the identical *Result, which
+// also keeps the hit/miss counters deterministic regardless of the
+// worker count.
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"heteropart/internal/analyzer"
+	"heteropart/internal/apps"
+	"heteropart/internal/metrics"
+	"heteropart/internal/strategy"
+)
+
+// Result is the measured execution of one Spec.
+type Result struct {
+	Spec    Spec
+	Outcome *strategy.Outcome
+	// Report is the analyzer's decision; only set when the spec left
+	// the strategy to the matchmaker (Spec.Strategy == "").
+	Report *analyzer.Report
+	// Metrics is the run's private registry (Spec.WithMetrics).
+	Metrics *metrics.Registry
+	// Verify checks computed results against the sequential reference;
+	// non-nil only for compute-mode runs.
+	Verify func() error
+}
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Workers bounds the number of concurrently executing runs;
+	// <= 1 means sequential.
+	Workers int
+	// DisableCache turns the result cache off (every spec executes).
+	DisableCache bool
+	// Metrics, when non-nil, receives the runner's own telemetry:
+	// runner_runs_total, runner_cache_hits_total,
+	// runner_cache_misses_total, and per-worker progress counters
+	// runner_worker_runs_total{worker}. The per-worker series depend on
+	// host scheduling and are not deterministic across worker counts
+	// (see DESIGN.md §9).
+	Metrics *metrics.Registry
+}
+
+// cacheEntry is one single-flight slot: the first requester executes,
+// later requesters wait on done and read the identical result.
+type cacheEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Runner executes Specs over a bounded worker pool with an optional
+// content-addressed result cache. The zero value is not usable; call
+// New.
+type Runner struct {
+	workers int
+	// sem bounds executing runs; each token doubles as a worker
+	// identity for per-worker progress telemetry. Cache waiters do not
+	// hold tokens, so a full pool of waiters cannot starve the one
+	// execution they wait on.
+	sem chan int
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry // nil when caching is off
+
+	runs, hits, misses *metrics.Counter
+	workerRuns         []*metrics.Counter
+}
+
+// New builds a runner.
+func New(cfg Config) *Runner {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	r := &Runner{
+		workers: cfg.Workers,
+		sem:     make(chan int, cfg.Workers),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		r.sem <- i
+	}
+	if !cfg.DisableCache {
+		r.cache = make(map[string]*cacheEntry)
+	}
+	if m := cfg.Metrics; m != nil {
+		r.runs = m.Counter("runner_runs_total", "simulation runs executed by the sweep pool")
+		r.hits = m.Counter("runner_cache_hits_total", "sweep points served from the result cache")
+		r.misses = m.Counter("runner_cache_misses_total", "sweep points that had to execute")
+		r.workerRuns = make([]*metrics.Counter, cfg.Workers)
+		for i := range r.workerRuns {
+			r.workerRuns[i] = m.Counter(
+				metrics.Label("runner_worker_runs_total", "worker", strconv.Itoa(i)),
+				"runs completed per pool worker (not deterministic across worker counts)")
+		}
+	}
+	return r
+}
+
+// Workers reports the pool width.
+func (r *Runner) Workers() int { return r.workers }
+
+// Run executes (or recalls) one spec.
+func (r *Runner) Run(spec Spec) (*Result, error) {
+	if r.cache == nil {
+		return r.execute(spec)
+	}
+	key := spec.Key()
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		r.hits.Inc()
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	r.misses.Inc()
+	e.res, e.err = r.execute(spec)
+	close(e.done)
+	return e.res, e.err
+}
+
+// RunAll executes every spec, fanning out over the worker pool, and
+// returns the results in input order. On failure the first error (by
+// input position) is returned; the result slice still holds whatever
+// completed.
+func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("runner: %s: %w", specs[i], err)
+		}
+	}
+	return results, nil
+}
+
+// execute performs one run inside a worker slot. Everything mutable —
+// problem, directory, scheduler, engine, trace, metrics — is created
+// here and owned by this call; the platform and the app/strategy
+// registries are read-only.
+func (r *Runner) execute(spec Spec) (*Result, error) {
+	worker := <-r.sem
+	defer func() { r.sem <- worker }()
+
+	plat := spec.platform()
+	app, err := apps.ByName(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	p, err := app.Build(apps.Variant{
+		N: spec.N, Iters: spec.Iters, Sync: spec.Sync,
+		Spaces:  1 + len(plat.Accels),
+		Compute: spec.Compute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec}
+	if spec.WithMetrics {
+		res.Metrics = metrics.NewRegistry()
+	}
+	opts := strategy.Options{
+		Chunks:       spec.Chunks,
+		NoSeed:       spec.NoSeed,
+		Compute:      spec.Compute,
+		CollectTrace: spec.CollectTrace,
+		Metrics:      res.Metrics,
+	}
+	if spec.Strategy == "" {
+		rep, out, err := analyzer.Matchmake(p, plat, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Report, res.Outcome = &rep, out
+	} else {
+		s, err := strategy.ByName(spec.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.Run(p, plat, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Outcome = out
+	}
+	res.Verify = p.Verify
+	r.runs.Inc()
+	if r.workerRuns != nil {
+		r.workerRuns[worker].Inc()
+	}
+	return res, nil
+}

@@ -1,0 +1,254 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"heteropart/internal/device"
+	"heteropart/internal/metrics"
+)
+
+func counterValue(t *testing.T, reg *metrics.Registry, series string) float64 {
+	t.Helper()
+	pt, ok := reg.Snapshot(0).Get(series)
+	if !ok {
+		t.Fatalf("series %s not registered", series)
+	}
+	return pt.Value
+}
+
+// TestCacheHitReturnsIdenticalResult: a repeated spec must come back as
+// the same *Result, not a re-execution.
+func TestCacheHitReturnsIdenticalResult(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 1, Metrics: reg})
+	spec := Spec{App: "MatrixMul", Strategy: "SP-Single", N: 256}
+	first, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("cache hit returned a different *Result")
+	}
+	if v := counterValue(t, reg, "runner_cache_hits_total"); v != 1 {
+		t.Fatalf("hits = %v, want 1", v)
+	}
+	if v := counterValue(t, reg, "runner_cache_misses_total"); v != 1 {
+		t.Fatalf("misses = %v, want 1", v)
+	}
+	if v := counterValue(t, reg, "runner_runs_total"); v != 1 {
+		t.Fatalf("runs = %v, want 1", v)
+	}
+}
+
+// TestCacheNeverAliasesDistinctSpecs: differing seed, platform or m
+// must execute separately.
+func TestCacheNeverAliasesDistinctSpecs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 2, Metrics: reg})
+	specs := []Spec{
+		{App: "BlackScholes", Strategy: "DP-Perf"},
+		{App: "BlackScholes", Strategy: "DP-Perf", Seed: 1},
+		{App: "BlackScholes", Strategy: "DP-Perf", Plat: device.PaperPlatform(6)},
+		{App: "BlackScholes", Strategy: "DP-Perf", Chunks: 24},
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range results {
+		for j, b := range results {
+			if i != j && a == b {
+				t.Fatalf("specs %d and %d aliased to one result", i, j)
+			}
+		}
+	}
+	if v := counterValue(t, reg, "runner_cache_hits_total"); v != 0 {
+		t.Fatalf("hits = %v, want 0", v)
+	}
+	if v := counterValue(t, reg, "runner_cache_misses_total"); v != float64(len(specs)) {
+		t.Fatalf("misses = %v, want %d", v, len(specs))
+	}
+	// m=6 vs default m=12 must actually differ in outcome too.
+	if results[0].Outcome.Result.Makespan == results[2].Outcome.Result.Makespan {
+		t.Fatal("different thread counts produced identical makespans (suspicious aliasing)")
+	}
+}
+
+// TestSingleflightCoalesces: many concurrent requests for one key must
+// execute once, and every caller gets the identical result. The
+// hit/miss split is deterministic: one miss, N-1 hits.
+func TestSingleflightCoalesces(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 4, Metrics: reg})
+	spec := Spec{App: "HotSpot", Strategy: "DP-Perf"}
+	const callers = 16
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("coalesced callers saw different results")
+		}
+	}
+	if v := counterValue(t, reg, "runner_runs_total"); v != 1 {
+		t.Fatalf("runs = %v, want 1", v)
+	}
+	if v := counterValue(t, reg, "runner_cache_hits_total"); v != callers-1 {
+		t.Fatalf("hits = %v, want %d", v, callers-1)
+	}
+}
+
+// TestRunAllPreservesOrder: results come back in input order whatever
+// the pool width.
+func TestRunAllPreservesOrder(t *testing.T) {
+	r := New(Config{Workers: 8})
+	sizes := []int64{512, 1024, 2048, 256, 768}
+	specs := make([]Spec, len(sizes))
+	for i, n := range sizes {
+		specs[i] = Spec{App: "MatrixMul", Strategy: "SP-Single", N: n}
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Spec.N != sizes[i] {
+			t.Fatalf("result %d is for n=%d, want %d", i, res.Spec.N, sizes[i])
+		}
+	}
+}
+
+// TestRunAllErrorPosition: the first failing spec by input position is
+// reported, and completed results survive.
+func TestRunAllErrorPosition(t *testing.T) {
+	r := New(Config{Workers: 2})
+	specs := []Spec{
+		{App: "MatrixMul", Strategy: "SP-Single"},
+		{App: "NoSuchApp", Strategy: "SP-Single"},
+		{App: "MatrixMul", Strategy: "NoSuchStrategy"},
+	}
+	results, err := r.RunAll(specs)
+	if err == nil {
+		t.Fatal("missing error")
+	}
+	if !strings.Contains(err.Error(), "NoSuchApp") {
+		t.Fatalf("error = %v, want the first failure by position", err)
+	}
+	if results[0] == nil {
+		t.Fatal("successful result dropped")
+	}
+}
+
+// TestCacheDisabled: with the cache off, every call executes.
+func TestCacheDisabled(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 1, DisableCache: true, Metrics: reg})
+	spec := Spec{App: "Nbody", Strategy: "Only-CPU"}
+	a, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("cache-disabled runner returned a cached result")
+	}
+	if a.Outcome.Result.Makespan != b.Outcome.Result.Makespan {
+		t.Fatal("simulator not deterministic across repeated runs")
+	}
+	if v := counterValue(t, reg, "runner_runs_total"); v != 2 {
+		t.Fatalf("runs = %v, want 2", v)
+	}
+}
+
+// TestCachedSweepRendersSameValues: a warm cache must serve the exact
+// numbers a cold sweep measured.
+func TestCachedSweepRendersSameValues(t *testing.T) {
+	cold := New(Config{Workers: 4})
+	warm := New(Config{Workers: 4})
+	specs := make([]Spec, 0, 6)
+	for _, s := range []string{"SP-Single", "DP-Perf", "DP-Dep"} {
+		for _, n := range []int64{512, 1024} {
+			specs = append(specs, Spec{App: "BlackScholes", Strategy: s, N: n})
+		}
+	}
+	ref, err := cold.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.RunAll(specs); err != nil { // populate
+		t.Fatal(err)
+	}
+	got, err := warm.RunAll(specs) // all hits
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if got[i].Outcome.Result.Makespan != ref[i].Outcome.Result.Makespan {
+			t.Fatalf("%s: cached makespan %v != cold %v",
+				specs[i], got[i].Outcome.Result.Makespan, ref[i].Outcome.Result.Makespan)
+		}
+	}
+}
+
+// TestWorkerTelemetryAccounts: per-worker counters sum to the total
+// run count.
+func TestWorkerTelemetryAccounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 3, Metrics: reg})
+	var specs []Spec
+	for i := 0; i < 9; i++ {
+		specs = append(specs, Spec{App: "MatrixMul", Strategy: "SP-Single", N: int64(256 + 64*i)})
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	var perWorker float64
+	for w := 0; w < 3; w++ {
+		perWorker += counterValue(t, reg, metrics.Label("runner_worker_runs_total", "worker", fmt.Sprintf("%d", w)))
+	}
+	if total := counterValue(t, reg, "runner_runs_total"); perWorker != total {
+		t.Fatalf("per-worker runs %v != total %v", perWorker, total)
+	}
+	if total := counterValue(t, reg, "runner_runs_total"); total != float64(len(specs)) {
+		t.Fatalf("runs = %v, want %d", total, len(specs))
+	}
+}
+
+// TestMatchmakeSpec: an empty strategy routes through the analyzer and
+// returns its report.
+func TestMatchmakeSpec(t *testing.T) {
+	r := New(Config{Workers: 1})
+	res, err := r.Run(Spec{App: "MatrixMul"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil {
+		t.Fatal("matchmake run missing the analyzer report")
+	}
+	if res.Outcome.Strategy != res.Report.Best {
+		t.Fatalf("outcome ran %s but the analyzer selected %s",
+			res.Outcome.Strategy, res.Report.Best)
+	}
+}

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+)
+
+// Spec names one independent simulation run — the unit the sweep
+// executor shards. Two specs with the same canonical encoding describe
+// the same virtual-time world and therefore the same result (the
+// simulator is deterministic), which is what makes the result cache
+// sound.
+type Spec struct {
+	// App is the application name (apps.ByName).
+	App string
+	// Strategy is the strategy name (strategy.ByName); empty selects
+	// the analyzer's matchmaking pipeline (the paper's Fig. 2).
+	Strategy string
+	// Sync selects the inter-kernel synchronization variant.
+	Sync apps.SyncMode
+	// N and Iters parameterize the problem build (0 = paper default).
+	N     int64
+	Iters int
+	// Plat is the platform to run on; nil selects the paper platform
+	// with its default thread count. Platforms are immutable after
+	// construction, so sharing one across concurrent runs is safe; the
+	// cache key uses the platform fingerprint, not the pointer.
+	Plat *device.Platform
+	// Chunks is the dynamic task count m (0 = platform thread count).
+	Chunks int
+	// NoSeed keeps DP-Perf's profiling phase inside the measurement.
+	NoSeed bool
+	// Compute executes real kernels (enables Verify on the problem).
+	Compute bool
+	// CollectTrace attaches a trace to the measured run.
+	CollectTrace bool
+	// WithMetrics attaches a fresh per-run metrics registry to the run;
+	// the registry is returned in Result.Metrics.
+	WithMetrics bool
+	// Seed is a workload-seed knob reserved for randomized problem
+	// builders. It participates in the cache key so differently-seeded
+	// runs never alias.
+	Seed int64
+}
+
+// platform resolves the spec's platform, defaulting to the paper's.
+func (s Spec) platform() *device.Platform {
+	if s.Plat != nil {
+		return s.Plat
+	}
+	return device.PaperPlatform(0)
+}
+
+// PlatformFingerprint renders the identity of a platform from its
+// contents: device models, thread count, and link characteristics.
+// Two platforms with equal fingerprints model the same hardware, so
+// runs on them are interchangeable for caching purposes.
+func PlatformFingerprint(p *device.Platform) string {
+	if p == nil {
+		return "(nil)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/m=%d/%.1f/%.1f", p.Host.Name, p.Host.Share,
+		p.Host.PeakSPGFLOPS, p.Host.MemBWGBps)
+	for _, a := range p.Accels {
+		l := p.LinkOf(a.ID)
+		fmt.Fprintf(&b, "+%s/%.1f/%.1f/link=%.1f:%.1f:%d:%t",
+			a.Name, a.PeakSPGFLOPS, a.MemBWGBps,
+			l.HtoDGBps, l.DtoHGBps, int64(l.Latency), l.Duplex)
+	}
+	return b.String()
+}
+
+// Canonical renders the spec as a stable, human-readable encoding:
+// every field in a fixed order, the platform by fingerprint. Equal
+// canonical strings mean equal simulated worlds.
+func (s Spec) Canonical() string {
+	strat := s.Strategy
+	if strat == "" {
+		strat = "(matchmake)"
+	}
+	return fmt.Sprintf("app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|compute=%t|trace=%t|metrics=%t|seed=%d",
+		s.App, strat, int(s.Sync), s.N, s.Iters,
+		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Compute,
+		s.CollectTrace, s.WithMetrics, s.Seed)
+}
+
+// Key is the content address of the spec: a SHA-256 over the canonical
+// encoding. The cache is keyed by it.
+func (s Spec) Key() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// String abbreviates the spec for progress lines and errors.
+func (s Spec) String() string {
+	strat := s.Strategy
+	if strat == "" {
+		strat = "(matchmake)"
+	}
+	return fmt.Sprintf("%s/%s", s.App, strat)
+}

@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+)
+
+func TestSpecKeyStable(t *testing.T) {
+	a := Spec{App: "MatrixMul", Strategy: "SP-Single"}
+	b := Spec{App: "MatrixMul", Strategy: "SP-Single"}
+	if a.Key() != b.Key() {
+		t.Fatal("equal specs produced different keys")
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatal("equal specs produced different canonical encodings")
+	}
+}
+
+func TestSpecKeyDiscriminates(t *testing.T) {
+	base := Spec{App: "BlackScholes", Strategy: "DP-Perf"}
+	variants := map[string]Spec{
+		"app":      {App: "MatrixMul", Strategy: "DP-Perf"},
+		"strategy": {App: "BlackScholes", Strategy: "SP-Single"},
+		"sync":     {App: "BlackScholes", Strategy: "DP-Perf", Sync: apps.SyncForced},
+		"n":        {App: "BlackScholes", Strategy: "DP-Perf", N: 4096},
+		"iters":    {App: "BlackScholes", Strategy: "DP-Perf", Iters: 3},
+		"chunks":   {App: "BlackScholes", Strategy: "DP-Perf", Chunks: 24},
+		"noseed":   {App: "BlackScholes", Strategy: "DP-Perf", NoSeed: true},
+		"compute":  {App: "BlackScholes", Strategy: "DP-Perf", Compute: true},
+		"trace":    {App: "BlackScholes", Strategy: "DP-Perf", CollectTrace: true},
+		"metrics":  {App: "BlackScholes", Strategy: "DP-Perf", WithMetrics: true},
+		"seed":     {App: "BlackScholes", Strategy: "DP-Perf", Seed: 7},
+		"platform": {App: "BlackScholes", Strategy: "DP-Perf", Plat: device.PaperPlatform(6)},
+	}
+	for field, v := range variants {
+		if v.Key() == base.Key() {
+			t.Errorf("spec differing only in %s aliased to the same key", field)
+		}
+	}
+}
+
+func TestSpecPlatformDefault(t *testing.T) {
+	// nil Plat must fingerprint identically to the explicit paper
+	// platform at its default thread count.
+	implicit := Spec{App: "Nbody", Strategy: "SP-Single"}
+	explicit := Spec{App: "Nbody", Strategy: "SP-Single", Plat: device.PaperPlatform(0)}
+	if implicit.Key() != explicit.Key() {
+		t.Fatal("nil platform does not alias the default paper platform")
+	}
+	narrower := Spec{App: "Nbody", Strategy: "SP-Single", Plat: device.PaperPlatform(6)}
+	if implicit.Key() == narrower.Key() {
+		t.Fatal("platforms with different thread counts aliased")
+	}
+}
+
+func TestPlatformFingerprintContents(t *testing.T) {
+	fp := PlatformFingerprint(device.PaperPlatform(12))
+	for _, want := range []string{"m=12", "K20m"} {
+		if !strings.Contains(fp, want) {
+			t.Fatalf("fingerprint %q missing %q", fp, want)
+		}
+	}
+	gtx := device.NewPlatform(device.XeonE5_2620(), 12,
+		device.Attachment{Model: device.GTX680(), Link: device.PCIeGen3x16()})
+	if PlatformFingerprint(gtx) == fp {
+		t.Fatal("different accelerators fingerprint identically")
+	}
+	if PlatformFingerprint(nil) != "(nil)" {
+		t.Fatal("nil platform fingerprint")
+	}
+}
+
+func TestSpecCanonicalMatchmakeSentinel(t *testing.T) {
+	s := Spec{App: "HotSpot"}
+	if !strings.Contains(s.Canonical(), "strategy=(matchmake)") {
+		t.Fatalf("canonical = %q", s.Canonical())
+	}
+	if s.String() != "HotSpot/(matchmake)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

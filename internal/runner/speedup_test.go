@@ -1,0 +1,45 @@
+package runner
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestParallelSpeedup demonstrates the wall-clock win: a sweep of
+// distinct compute-mode runs (real kernel work, no cache overlap) over
+// 4 workers must finish at least 2x faster than the same sweep run
+// sequentially. Compute mode is used because timing-only simulations
+// finish in microseconds — there parallelism only buys anything on
+// sweeps of thousands of points, which would make a poor unit test.
+// Skipped on machines without enough cores to parallelize at all.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second compute sweep")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs >= 4 CPUs to demonstrate speedup, have %d", runtime.GOMAXPROCS(0))
+	}
+	specs := make([]Spec, 8)
+	for i := range specs {
+		// Distinct sizes so the cache cannot collapse the sweep.
+		specs[i] = Spec{App: "BlackScholes", Strategy: "SP-Single",
+			N: int64(1_000_000 + 50_000*i), Compute: true}
+	}
+	measure := func(workers int) time.Duration {
+		t.Helper()
+		r := New(Config{Workers: workers})
+		start := time.Now()
+		if _, err := r.RunAll(specs); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	measure(1) // warm up allocator and page cache
+	seq := measure(1)
+	par := measure(4)
+	t.Logf("sequential %v, 4 workers %v (%.2fx)", seq, par, float64(seq)/float64(par))
+	if par > seq/2 {
+		t.Errorf("4-worker sweep %v not 2x faster than sequential %v", par, seq)
+	}
+}
