@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet race race-observe check experiments report examples clean
+.PHONY: all build test bench vet lint race race-observe check experiments report examples clean
+
+# Pinned staticcheck version; CI installs exactly this.
+STATICCHECK_VERSION = 2024.1.1
 
 all: build test
 
@@ -14,6 +17,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is not vendored; when the
+# binary is absent the target skips with a notice instead of failing
+# (CI installs the pinned version and enforces it).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # Race-check the whole module. The sweep runner shards simulations
 # across goroutines, so every package must stay race-clean, not just
@@ -27,7 +40,7 @@ race-observe:
 	$(GO) test -race ./internal/metrics/... ./internal/trace/...
 
 # Everything a change must pass before merging.
-check: build vet test race
+check: build vet lint test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

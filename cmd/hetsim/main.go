@@ -14,6 +14,16 @@
 //
 //	hetsim -sweep -app BlackScholes -parallel 4
 //	hetsim -sweep -app MatrixMul -strategy SP-Single,DP-Perf -sizes 512,1024,2048
+//
+// Plan replay separates deciding from executing: -plan-out saves the
+// decided ExecutionPlan as JSON before running it, and -plan-in
+// executes a saved plan (application, size and iterations default
+// from the plan; -strategy is not needed). A replayed run reproduces
+// the original byte-for-byte — the simulator is deterministic and the
+// plan pins the whole decision surface:
+//
+//	hetsim -app BlackScholes -strategy SP-Single -plan-out plan.json
+//	hetsim -plan-in plan.json
 package main
 
 import (
@@ -44,13 +54,34 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "sweep mode: fan the cross product of -strategy (comma-separated, empty = all) and -sizes over a worker pool")
 		parallel  = flag.Int("parallel", 1, "worker pool width for -sweep (1 = sequential)")
 		sizes     = flag.String("sizes", "", "comma-separated problem sizes for -sweep (empty = the single -n)")
+		planOut   = flag.String("plan-out", "", "write the decided execution plan (JSON) to this file before running it")
+		planIn    = flag.String("plan-in", "", "execute a saved execution plan instead of deciding one (-app/-n/-iters default from the plan)")
 	)
 	flag.Parse()
 	if *traceFmt != "chrome" && *traceFmt != "csv" {
 		fatal(fmt.Errorf("unknown -trace-format %q (want chrome or csv)", *traceFmt))
 	}
+	if *planIn != "" && *sweep {
+		fatal(fmt.Errorf("-plan-in replays a single run and cannot combine with -sweep"))
+	}
 
-	if *appName == "" || (*stratName == "" && !*sweep) {
+	var loaded *heteropart.ExecutionPlan
+	if *planIn != "" {
+		data, err := os.ReadFile(*planIn)
+		fatal(err)
+		loaded, err = heteropart.PlanFromJSON(data)
+		fatal(err)
+		if *appName == "" {
+			*appName = loaded.App
+		}
+		if *n == 0 {
+			*n = loaded.N
+		}
+		if *iters == 0 {
+			*iters = loaded.Iters
+		}
+	}
+	if *appName == "" || (*stratName == "" && !*sweep && loaded == nil) {
 		fmt.Fprintln(os.Stderr, "hetsim: -app and -strategy are required")
 		os.Exit(2)
 	}
@@ -73,8 +104,6 @@ func main() {
 	}
 	app, err := heteropart.AppByName(*appName)
 	fatal(err)
-	strat, err := heteropart.StrategyByName(*stratName)
-	fatal(err)
 	problem, err := app.Build(heteropart.Variant{N: *n, Iters: *iters, Sync: sync, Compute: *compute})
 	fatal(err)
 
@@ -82,11 +111,24 @@ func main() {
 	if *showMx {
 		reg = heteropart.NewMetrics()
 	}
-	out, err := strat.Run(problem, plat, heteropart.Options{
+	opts := heteropart.Options{
 		Chunks: *chunks, Compute: *compute,
 		CollectTrace: *showTrace || *traceOut != "",
 		Metrics:      reg,
-	})
+	}
+	pl := loaded
+	if pl == nil {
+		strat, err := heteropart.StrategyByName(*stratName)
+		fatal(err)
+		pl, err = strat.Plan(problem, plat, opts)
+		fatal(err)
+	}
+	if *planOut != "" {
+		data, err := pl.JSON()
+		fatal(err)
+		fatal(os.WriteFile(*planOut, data, 0o644))
+	}
+	out, err := heteropart.ExecutePlan(pl, problem, plat, opts)
 	fatal(err)
 
 	fmt.Printf("%s on %s (%s)\n", out.Strategy, *appName, plat)
@@ -154,6 +196,9 @@ func main() {
 		}
 		fatal(err)
 		fmt.Printf("trace written to %s (%s)\n", *traceOut, *traceFmt)
+	}
+	if *planOut != "" {
+		fmt.Printf("plan written to %s\n", *planOut)
 	}
 	if reg != nil {
 		fmt.Println("metrics:")

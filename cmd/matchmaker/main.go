@@ -3,10 +3,16 @@
 // ranking for that class, select the best partitioning strategy, and
 // (unless -dry) execute it on the simulated platform.
 //
+// With -explain the matchmaker also decides the winning strategy's
+// execution plan and the runner-up's, and prints what the winner does
+// differently (partition shares, scheduler, instance counts, Glinda
+// decisions) without executing either.
+//
 // Usage:
 //
 //	matchmaker -app BlackScholes
 //	matchmaker -app STREAM-Seq -sync forced -m 12 -validate
+//	matchmaker -app HotSpot -explain -dry
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 		n        = flag.Int64("n", 0, "problem size (0 = paper default)")
 		iters    = flag.Int("iters", 0, "loop iterations (0 = paper default)")
 		dry      = flag.Bool("dry", false, "analyze only, do not execute")
+		explain  = flag.Bool("explain", false, "diff the winning strategy's execution plan against the runner-up's")
 		validate = flag.Bool("validate", false, "run every suitable strategy and check Table I's ranking")
 		showMx   = flag.Bool("metrics", false, "print the executed run's metrics registry (Prometheus text exposition)")
 	)
@@ -101,6 +108,31 @@ func main() {
 	report, err := heteropart.Analyze(problem)
 	fatal(err)
 	fmt.Println(report)
+
+	if *explain {
+		best, err := heteropart.StrategyByName(report.Best)
+		fatal(err)
+		bestPlan, err := best.Plan(problem, plat, heteropart.Options{})
+		fatal(err)
+		fmt.Printf("winning plan: %s — %d phases, %d instances, %s scheduler\n",
+			bestPlan.Strategy, len(bestPlan.Phases), bestPlan.Instances(), bestPlan.Scheduler.Policy)
+		if len(report.Ranked) < 2 {
+			fmt.Println("no runner-up strategy to compare")
+		} else {
+			runnerUp, err := heteropart.StrategyByName(report.Ranked[1])
+			fatal(err)
+			ruPlan, err := runnerUp.Plan(problem, plat, heteropart.Options{})
+			fatal(err)
+			fmt.Printf("vs runner-up %s:\n", ruPlan.Strategy)
+			diff := heteropart.DiffPlans(bestPlan, ruPlan)
+			if len(diff) == 0 {
+				fmt.Println("  (plans identical)")
+			}
+			for _, line := range diff {
+				fmt.Println("  " + line)
+			}
+		}
+	}
 	if *dry {
 		return
 	}

@@ -14,10 +14,13 @@ import (
 
 func main() {
 	two := heteropart.PaperPlatform(12)
-	three := heteropart.NewPlatform(heteropart.XeonE5_2620(), 12,
+	three, err := heteropart.NewPlatform(heteropart.XeonE5_2620(), 12,
 		heteropart.Attachment{Model: heteropart.TeslaK20m(), Link: heteropart.PCIeGen2x16()},
 		heteropart.Attachment{Model: heteropart.XeonPhi5110P(), Link: heteropart.PCIeGen3x16()},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("two-device:  ", two)
 	fmt.Println("three-device:", three)
 

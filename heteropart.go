@@ -43,6 +43,7 @@ import (
 	"heteropart/internal/glinda"
 	"heteropart/internal/mem"
 	"heteropart/internal/metrics"
+	"heteropart/internal/plan"
 	"heteropart/internal/rt"
 	"heteropart/internal/runner"
 	"heteropart/internal/sim"
@@ -188,6 +189,18 @@ type (
 	Metrics = metrics.Registry
 	// MetricsSnapshot is a point-in-time view of a registry.
 	MetricsSnapshot = metrics.Snapshot
+	// ExecutionPlan is the serializable decision record a strategy's
+	// Plan produces: per-kernel partitions, chunk boundaries, pins,
+	// scheduler policy and synchronization structure. Execute it with
+	// ExecutePlan, round-trip it with its JSON method and PlanFromJSON.
+	ExecutionPlan = plan.ExecutionPlan
+	// PlanPhase is one kernel invocation's partitioning inside an
+	// ExecutionPlan.
+	PlanPhase = plan.PhasePlan
+	// PlanChunk is one contiguous task instance inside a PlanPhase.
+	PlanChunk = plan.Chunk
+	// SchedulerSpec names the scheduling policy a plan executes under.
+	SchedulerSpec = plan.SchedulerSpec
 )
 
 // Synchronization variants.
@@ -204,8 +217,9 @@ const (
 func PaperPlatform(m int) *Platform { return device.PaperPlatform(m) }
 
 // NewPlatform builds a custom platform from a CPU model and
-// accelerator attachments.
-func NewPlatform(cpu DeviceModel, cpuThreads int, accels ...Attachment) *Platform {
+// accelerator attachments. It fails when the host model is not a CPU
+// or an attachment is.
+func NewPlatform(cpu DeviceModel, cpuThreads int, accels ...Attachment) (*Platform, error) {
 	return device.NewPlatform(cpu, cpuThreads, accels...)
 }
 
@@ -259,6 +273,22 @@ func Matchmake(p *Problem, plat *Platform, opts Options) (Report, *Outcome, erro
 func ValidateRanking(app App, v Variant, plat *Platform, opts Options) (*Validation, error) {
 	return analyzer.ValidateRanking(app, v, plat, opts)
 }
+
+// ExecutePlan carries out a decided plan on the platform: validation,
+// platform-fingerprint check, materialization and the measured run.
+// Replaying a plan (including one loaded with PlanFromJSON) reproduces
+// the run that decided it exactly.
+func ExecutePlan(pl *ExecutionPlan, p *Problem, plat *Platform, opts Options) (*Outcome, error) {
+	return strategy.Execute(pl, p, plat, opts)
+}
+
+// PlanFromJSON decodes and validates a serialized ExecutionPlan.
+func PlanFromJSON(data []byte) (*ExecutionPlan, error) { return plan.FromJSON(data) }
+
+// DiffPlans renders a human-readable comparison of two plans for the
+// same problem (what the matchmaker's winner decided differently from
+// the runner-up); identical plans diff to nothing.
+func DiffPlans(a, b *ExecutionPlan) []string { return plan.Diff(a, b) }
 
 // NewMetrics returns an empty metrics registry. Wire it into a run via
 // Options.Metrics, then render it with (*Metrics).Text or walk a

@@ -21,9 +21,11 @@ package apps
 
 import (
 	"fmt"
+	"strings"
 
 	"heteropart/internal/classify"
 	"heteropart/internal/mem"
+	"heteropart/internal/names"
 	"heteropart/internal/task"
 )
 
@@ -100,9 +102,12 @@ type Problem struct {
 	Verify func() error
 }
 
-// Class classifies the problem's structure.
+// Class classifies the problem's structure. Registry-built problems
+// always carry a valid structure; a hand-built problem with an invalid
+// one classifies as the zero class (SK-One).
 func (p *Problem) Class() classify.Class {
-	return classify.MustClassify(p.Structure)
+	c, _ := classify.Classify(p.Structure)
+	return c
 }
 
 // NeedsSync reports whether this problem's phases include inter-kernel
@@ -167,12 +172,22 @@ func Registry() []App {
 	}
 }
 
-// ByName finds a registered application.
+// ByName finds a registered application. Matching is
+// case-insensitive; an unknown name suggests the closest registered
+// spelling when one is close.
 func ByName(name string) (App, error) {
-	for _, a := range Registry() {
-		if a.Name() == name {
+	reg := Registry()
+	for _, a := range reg {
+		if strings.EqualFold(a.Name(), name) {
 			return a, nil
 		}
+	}
+	known := make([]string, len(reg))
+	for i, a := range reg {
+		known[i] = a.Name()
+	}
+	if sug := names.Closest(name, known); sug != "" {
+		return nil, fmt.Errorf("apps: unknown application %q (did you mean %q?)", name, sug)
 	}
 	return nil, fmt.Errorf("apps: unknown application %q", name)
 }

@@ -1,0 +1,37 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestByNameCaseInsensitive checks application lookup ignores case.
+func TestByNameCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"MatrixMul", "matrixmul", "BLACKSCHOLES", "stream-seq", "hotspot"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if !strings.EqualFold(a.Name(), name) {
+			t.Errorf("ByName(%q) resolved to %s", name, a.Name())
+		}
+	}
+}
+
+// TestByNameSuggests checks near-miss names get a did-you-mean hint
+// and hopeless names do not.
+func TestByNameSuggests(t *testing.T) {
+	_, err := ByName("MatrixMull")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "MatrixMul"?`) {
+		t.Errorf("ByName(MatrixMull) = %v, want MatrixMul suggestion", err)
+	}
+	_, err = ByName("STREAM-Sqe")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "STREAM-Seq"?`) {
+		t.Errorf("ByName(STREAM-Sqe) = %v, want STREAM-Seq suggestion", err)
+	}
+	_, err = ByName("linpack")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("ByName(linpack) = %v, want plain unknown-application error", err)
+	}
+}

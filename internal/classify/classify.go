@@ -96,15 +96,6 @@ func Classify(s Structure) (Class, error) {
 	return MKSeq, nil
 }
 
-// MustClassify is Classify for structures known to be valid.
-func MustClassify(s Structure) Class {
-	c, err := Classify(s)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // hasRealDAG detects a DAG construct that is not a degenerate chain.
 func hasRealDAG(n Node) bool {
 	switch v := n.(type) {

@@ -8,6 +8,16 @@ import (
 	"heteropart/internal/task"
 )
 
+// mustClassify classifies a structure the test knows to be valid.
+func mustClassify(t *testing.T, s Structure) Class {
+	t.Helper()
+	c, err := Classify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestClassifyFiveClasses(t *testing.T) {
 	cases := []struct {
 		name string
@@ -46,7 +56,7 @@ func TestClassifyInnerLoopDoesNotLift(t *testing.T) {
 		Loop{Body: Call{Kernel: "b"}, Trips: 5},
 		Call{Kernel: "c"},
 	}}
-	if got := MustClassify(s); got != MKSeq {
+	if got := mustClassify(t, s); got != MKSeq {
 		t.Fatalf("got %v, want MK-Seq (inner loop unrolls)", got)
 	}
 }
@@ -58,7 +68,7 @@ func TestClassifyTopLevelLoopInSequence(t *testing.T) {
 		Call{Kernel: "init"},
 		Loop{Body: Seq{Call{Kernel: "a"}, Call{Kernel: "b"}}, Trips: 0},
 	}}
-	if got := MustClassify(s); got != MKLoop {
+	if got := mustClassify(t, s); got != MKLoop {
 		t.Fatalf("got %v, want MK-Loop", got)
 	}
 }
@@ -69,7 +79,7 @@ func TestClassifyChainDAGIsSeq(t *testing.T) {
 		DAGCall{Kernel: "b", After: []int{0}},
 		DAGCall{Kernel: "c", After: []int{1}},
 	)
-	if got := MustClassify(s); got != MKSeq {
+	if got := mustClassify(t, s); got != MKSeq {
 		t.Fatalf("got %v, want MK-Seq (chain DAG degenerates)", got)
 	}
 }
@@ -80,7 +90,7 @@ func TestClassifyNestedDAGDetected(t *testing.T) {
 		DAGCall{Kernel: "b", After: []int{0}},
 		DAGCall{Kernel: "c", After: []int{0}},
 	).Flow, Trips: 4}}
-	if got := MustClassify(s); got != MKDAG {
+	if got := mustClassify(t, s); got != MKDAG {
 		t.Fatalf("got %v, want MK-DAG", got)
 	}
 }
@@ -92,12 +102,6 @@ func TestClassifyErrors(t *testing.T) {
 	if _, err := Classify(Structure{Flow: Seq{}}); err == nil {
 		t.Fatal("no-call structure accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustClassify did not panic")
-		}
-	}()
-	MustClassify(Structure{})
 }
 
 func TestClassNames(t *testing.T) {

@@ -28,7 +28,7 @@ func TestParseClasses(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", c.src, err)
 		}
-		got := MustClassify(s)
+		got := mustClassify(t, s)
 		if got != c.want {
 			t.Errorf("Parse(%q) = %v, want %v", c.src, got, c.want)
 		}
@@ -65,7 +65,7 @@ func TestParseRoundTripThroughRanking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := MustClassify(s); got != MKLoop {
+	if got := mustClassify(t, s); got != MKLoop {
 		t.Fatalf("class = %v", got)
 	}
 	if !s.InterKernelSync {

@@ -124,9 +124,9 @@ type Platform struct {
 // multiple of core count and uses the best); it becomes the host
 // device's Share so each worker sees peak/m. cpuThreads <= 0 defaults to
 // the CPU's hardware thread count.
-func NewPlatform(cpu Model, cpuThreads int, accels ...Attachment) *Platform {
+func NewPlatform(cpu Model, cpuThreads int, accels ...Attachment) (*Platform, error) {
 	if cpu.Kind != CPU {
-		panic(fmt.Sprintf("device: host must be a CPU, got %v", cpu.Kind))
+		return nil, fmt.Errorf("device: host must be a CPU, got %v", cpu.Kind)
 	}
 	if cpuThreads <= 0 {
 		cpuThreads = cpu.Threads()
@@ -136,18 +136,21 @@ func NewPlatform(cpu Model, cpuThreads int, accels ...Attachment) *Platform {
 	}
 	for i, a := range accels {
 		if a.Model.Kind == CPU {
-			panic("device: accelerator cannot be of kind CPU")
+			return nil, fmt.Errorf("device: accelerator %d (%s) cannot be of kind CPU", i+1, a.Model.Name)
 		}
 		p.Accels = append(p.Accels, &Device{Model: a.Model, ID: i + 1, Share: 1})
 		p.Links = append(p.Links, a.Link)
 	}
-	return p
+	return p, nil
 }
 
 // PaperPlatform reproduces the evaluation platform of Table III with m
 // CPU worker threads (m <= 0 selects the 12 hardware threads).
 func PaperPlatform(cpuThreads int) *Platform {
-	return NewPlatform(XeonE5_2620(), cpuThreads, Attachment{Model: TeslaK20m(), Link: PCIeGen2x16()})
+	// The catalog models are compile-time constants of the right kinds,
+	// so construction cannot fail.
+	p, _ := NewPlatform(XeonE5_2620(), cpuThreads, Attachment{Model: TeslaK20m(), Link: PCIeGen2x16()})
+	return p
 }
 
 // Devices returns all devices, host first.
@@ -158,7 +161,8 @@ func (p *Platform) Devices() []*Device {
 	return out
 }
 
-// Device returns the device with the given platform ID.
+// Device returns the device with the given platform ID, or nil when no
+// such device exists (callers validate IDs before dereferencing).
 func (p *Platform) Device(id int) *Device {
 	if id == 0 {
 		return p.Host
@@ -166,16 +170,17 @@ func (p *Platform) Device(id int) *Device {
 	if id >= 1 && id <= len(p.Accels) {
 		return p.Accels[id-1]
 	}
-	panic(fmt.Sprintf("device: no device %d on platform", id))
+	return nil
 }
 
 // LinkOf returns the host link of the accelerator with the given
-// platform ID.
+// platform ID, or the zero Link (no bandwidth) when the ID names no
+// accelerator.
 func (p *Platform) LinkOf(id int) Link {
 	if id >= 1 && id <= len(p.Links) {
 		return p.Links[id-1]
 	}
-	panic(fmt.Sprintf("device: no link for device %d", id))
+	return Link{}
 }
 
 // CPUThreads reports the number of host worker threads m.

@@ -187,38 +187,38 @@ func TestNewPlatformDefaultsThreads(t *testing.T) {
 }
 
 func TestNewPlatformRejectsNonCPUHost(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("GPU host did not panic")
-		}
-	}()
-	NewPlatform(TeslaK20m(), 1)
+	if _, err := NewPlatform(TeslaK20m(), 1); err == nil {
+		t.Error("GPU host did not error")
+	}
 }
 
 func TestNewPlatformRejectsCPUAccel(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("CPU accelerator did not panic")
-		}
-	}()
-	NewPlatform(XeonE5_2620(), 1, Attachment{Model: XeonE5_2620()})
+	if _, err := NewPlatform(XeonE5_2620(), 1, Attachment{Model: XeonE5_2620()}); err == nil {
+		t.Error("CPU accelerator did not error")
+	}
 }
 
-func TestPlatformDeviceOutOfRangePanics(t *testing.T) {
+func TestPlatformDeviceOutOfRange(t *testing.T) {
 	p := PaperPlatform(12)
-	defer func() {
-		if recover() == nil {
-			t.Error("Device(5) did not panic")
-		}
-	}()
-	p.Device(5)
+	if d := p.Device(5); d != nil {
+		t.Errorf("Device(5) = %v, want nil", d)
+	}
+	if d := p.Device(-1); d != nil {
+		t.Errorf("Device(-1) = %v, want nil", d)
+	}
+	if l := p.LinkOf(5); l != (Link{}) {
+		t.Errorf("LinkOf(5) = %v, want the zero link", l)
+	}
 }
 
 func TestMultiAccelPlatform(t *testing.T) {
-	p := NewPlatform(XeonE5_2620(), 12,
+	p, err := NewPlatform(XeonE5_2620(), 12,
 		Attachment{Model: TeslaK20m(), Link: PCIeGen2x16()},
 		Attachment{Model: XeonPhi5110P(), Link: PCIeGen3x16()},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(p.Accels) != 2 {
 		t.Fatalf("accels = %d, want 2", len(p.Accels))
 	}

@@ -207,8 +207,11 @@ func Platforms(env *Env) (*Table, error) {
 	t := &Table{ID: "platforms", Title: "Platform sensitivity: Tesla K20m vs GTX 680 (extension)",
 		Columns: []string{"app", "platform", "best", "time (ms)", "GPU share"}}
 	k20 := device.PaperPlatform(12)
-	gtx := device.NewPlatform(device.XeonE5_2620(), 12,
+	gtx, err := device.NewPlatform(device.XeonE5_2620(), 12,
 		device.Attachment{Model: device.GTX680(), Link: device.PCIeGen3x16()})
+	if err != nil {
+		return nil, err
+	}
 
 	type key struct{ app, plat string }
 	shares := map[key]float64{}

@@ -242,10 +242,13 @@ func TaskSize(env *Env) (*Table, error) {
 // future work): Glinda's water-filling split across a CPU, a K20m and
 // a Xeon-Phi-like accelerator.
 func MultiAccel(*Env) (*Table, error) {
-	plat3 := device.NewPlatform(device.XeonE5_2620(), 12,
+	plat3, err := device.NewPlatform(device.XeonE5_2620(), 12,
 		device.Attachment{Model: device.TeslaK20m(), Link: device.PCIeGen2x16()},
 		device.Attachment{Model: device.XeonPhi5110P(), Link: device.PCIeGen3x16()},
 	)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{ID: "multiaccel", Title: "Multi-accelerator partitioning (extension)",
 		Columns: []string{"device", "share"}}
 

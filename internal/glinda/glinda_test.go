@@ -31,7 +31,8 @@ func testPlatform(m int) *device.Platform {
 		PeakSPGFLOPS: 900, PeakDPGFLOPS: 900, MemBWGBps: 1000,
 	}
 	link := device.Link{HtoDGBps: 1, DtoHGBps: 1, Duplex: true}
-	return device.NewPlatform(cpu, m, device.Attachment{Model: gpu, Link: link})
+	p, _ := device.NewPlatform(cpu, m, device.Attachment{Model: gpu, Link: link})
+	return p
 }
 
 var fullEff = map[device.Kind]device.Efficiency{

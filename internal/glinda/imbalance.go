@@ -98,13 +98,9 @@ func solveMinimax(n int64, tg, tc func(int64) float64) int64 {
 		}
 	}
 	best := lo
-	bestCost := maxf(tg(lo), tc(lo))
-	if lo > 0 {
-		if c := maxf(tg(lo-1), tc(lo-1)); c < bestCost {
-			best, bestCost = lo-1, c
-		}
+	if lo > 0 && maxf(tg(lo-1), tc(lo-1)) < maxf(tg(lo), tc(lo)) {
+		best = lo - 1
 	}
-	_ = bestCost
 	return best
 }
 

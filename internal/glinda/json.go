@@ -1,0 +1,54 @@
+package glinda
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// estimateJSON is the wire form of Estimate. B is +Inf when a kernel
+// moves no data, and JSON has no infinity literal, so the wire form
+// uses -1 as the no-transfer sentinel (a real bandwidth is always
+// positive).
+type estimateJSON struct {
+	Rc       float64 `json:"rc"`
+	Rg       float64 `json:"rg"`
+	B        float64 `json:"b"`
+	InSlope  float64 `json:"in_slope,omitempty"`
+	InConst  float64 `json:"in_const,omitempty"`
+	OutSlope float64 `json:"out_slope,omitempty"`
+	OutConst float64 `json:"out_const,omitempty"`
+	N        int64   `json:"n"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Estimate) MarshalJSON() ([]byte, error) {
+	j := estimateJSON{
+		Rc: e.Rc, Rg: e.Rg, B: e.B,
+		InSlope: e.InSlope, InConst: e.InConst,
+		OutSlope: e.OutSlope, OutConst: e.OutConst,
+		N: e.N,
+	}
+	if math.IsInf(e.B, 1) {
+		j.B = -1
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Estimate) UnmarshalJSON(data []byte) error {
+	var j estimateJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("glinda: decode estimate: %w", err)
+	}
+	*e = Estimate{
+		Rc: j.Rc, Rg: j.Rg, B: j.B,
+		InSlope: j.InSlope, InConst: j.InConst,
+		OutSlope: j.OutSlope, OutConst: j.OutConst,
+		N: j.N,
+	}
+	if j.B < 0 {
+		e.B = math.Inf(1)
+	}
+	return nil
+}

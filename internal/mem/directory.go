@@ -45,10 +45,16 @@ func (t Transfer) String() string {
 // in which spaces. It is purely bookkeeping: callers obtain the
 // transfers required for an access, model their cost, then commit the
 // resulting state changes.
+//
+// Construction and registration faults are deferred: NewDirectory and
+// Register record the first misuse and Err reports it, so the builder
+// call-chains in the apps layer stay fluent while the runtime refuses
+// to execute against a faulted directory.
 type Directory struct {
 	spaces  int
 	buffers map[int]*bufState
 	nextID  int
+	err     error
 }
 
 type bufState struct {
@@ -57,22 +63,42 @@ type bufState struct {
 }
 
 // NewDirectory creates a directory for a platform with the given number
-// of spaces (1 host + number of accelerators).
+// of spaces (1 host + number of accelerators). spaces < 1 is recorded
+// as a deferred error and clamped to the host space alone.
 func NewDirectory(spaces int) *Directory {
+	d := &Directory{spaces: spaces, buffers: make(map[int]*bufState)}
 	if spaces < 1 {
-		panic("mem: need at least the host space")
+		d.spaces = 1
+		d.err = fmt.Errorf("mem: need at least the host space, got %d", spaces)
 	}
-	return &Directory{spaces: spaces, buffers: make(map[int]*bufState)}
+	return d
+}
+
+// Err reports the first construction or registration fault, or nil.
+func (d *Directory) Err() error { return d.err }
+
+func (d *Directory) setErr(err error) {
+	if d.err == nil {
+		d.err = err
+	}
 }
 
 // Spaces reports the number of memory spaces.
 func (d *Directory) Spaces() int { return d.spaces }
 
 // Register adds a buffer. Its full extent starts valid in the host
-// space only.
+// space only. Invalid dimensions are recorded as a deferred error and
+// clamped (elems to 0, elemSize to 1) so the returned buffer is still
+// usable as a handle.
 func (d *Directory) Register(name string, elems, elemSize int64) *Buffer {
 	if elems < 0 || elemSize <= 0 {
-		panic(fmt.Sprintf("mem: bad buffer %q: elems=%d elemSize=%d", name, elems, elemSize))
+		d.setErr(fmt.Errorf("mem: bad buffer %q: elems=%d elemSize=%d", name, elems, elemSize))
+		if elems < 0 {
+			elems = 0
+		}
+		if elemSize <= 0 {
+			elemSize = 1
+		}
 	}
 	b := &Buffer{ID: d.nextID, Name: name, Elems: elems, ElemSize: elemSize}
 	d.nextID++
@@ -82,30 +108,50 @@ func (d *Directory) Register(name string, elems, elemSize int64) *Buffer {
 	return b
 }
 
+// state returns the bookkeeping record for b, or nil if b was never
+// registered with this directory.
 func (d *Directory) state(b *Buffer) *bufState {
-	st, ok := d.buffers[b.ID]
-	if !ok {
-		panic(fmt.Sprintf("mem: buffer %q not registered", b.Name))
-	}
-	return st
+	return d.buffers[b.ID]
+}
+
+func unregistered(b *Buffer) error {
+	return fmt.Errorf("mem: buffer %q not registered", b.Name)
 }
 
 // ValidIn returns the set of elements of b valid in space s (a copy).
+// An unregistered buffer yields the empty set.
 func (d *Directory) ValidIn(b *Buffer, s Space) Set {
-	return d.state(b).valid[s].Clone()
+	st := d.state(b)
+	if st == nil {
+		return Set{}
+	}
+	return st.valid[s].Clone()
 }
 
-// MissingIn returns the sub-intervals of iv not valid in space s.
+// MissingIn returns the sub-intervals of iv not valid in space s. An
+// unregistered buffer is missing everywhere.
 func (d *Directory) MissingIn(b *Buffer, s Space, iv Interval) []Interval {
-	return d.state(b).valid[s].Missing(iv)
+	st := d.state(b)
+	if st == nil {
+		if iv.Empty() {
+			return nil
+		}
+		return []Interval{iv}
+	}
+	return st.valid[s].Missing(iv)
 }
 
 // SourceOf picks a space that holds iv of b valid, preferring the host.
 // The interval may be split across sources; SourceOf returns the source
 // covering the *start* of iv together with the prefix length covered, so
-// callers loop until the whole interval is sourced.
-func (d *Directory) SourceOf(b *Buffer, iv Interval) (Space, Interval) {
+// callers loop until the whole interval is sourced. If no space holds
+// the start of iv the update has been lost, which is a coherence bug —
+// reported as an error.
+func (d *Directory) SourceOf(b *Buffer, iv Interval) (Space, Interval, error) {
 	st := d.state(b)
+	if st == nil {
+		return 0, Interval{}, unregistered(b)
+	}
 	// Prefer the host: taskwait keeps it whole, and host-sourced
 	// transfers match OmpSs behaviour.
 	for _, s := range d.searchOrder() {
@@ -116,11 +162,11 @@ func (d *Directory) SourceOf(b *Buffer, iv Interval) (Space, Interval) {
 		have := v.IntersectInterval(iv)
 		for _, h := range have.Intervals() {
 			if h.Lo == iv.Lo {
-				return s, h
+				return s, h, nil
 			}
 		}
 	}
-	panic(fmt.Sprintf("mem: %s%v valid nowhere (lost update?)", b.Name, iv))
+	return 0, Interval{}, fmt.Errorf("mem: %s%v valid nowhere (lost update?)", b.Name, iv)
 }
 
 func (d *Directory) searchOrder() []Space {
@@ -133,29 +179,41 @@ func (d *Directory) searchOrder() []Space {
 
 // TransfersForRead computes the transfers needed before space s can read
 // iv of b. It does not mutate state; apply each transfer with Commit.
-func (d *Directory) TransfersForRead(b *Buffer, s Space, iv Interval) []Transfer {
+// It fails when some required element is valid nowhere (lost update).
+func (d *Directory) TransfersForRead(b *Buffer, s Space, iv Interval) ([]Transfer, error) {
 	var out []Transfer
 	for _, missing := range d.MissingIn(b, s, iv) {
 		cur := missing
 		for !cur.Empty() {
-			src, prefix := d.SourceOf(b, cur)
+			src, prefix, err := d.SourceOf(b, cur)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, Transfer{Buf: b, Interval: prefix, From: src, To: s})
 			cur.Lo = prefix.Hi
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Commit records a completed transfer: the destination space now also
 // holds the interval valid.
-func (d *Directory) Commit(t Transfer) {
-	d.state(t.Buf).valid[t.To].Add(t.Interval)
+func (d *Directory) Commit(t Transfer) error {
+	st := d.state(t.Buf)
+	if st == nil {
+		return unregistered(t.Buf)
+	}
+	st.valid[t.To].Add(t.Interval)
+	return nil
 }
 
 // MarkWritten records that space s wrote iv of b: s becomes the only
 // valid holder of those elements.
-func (d *Directory) MarkWritten(b *Buffer, s Space, iv Interval) {
+func (d *Directory) MarkWritten(b *Buffer, s Space, iv Interval) error {
 	st := d.state(b)
+	if st == nil {
+		return unregistered(b)
+	}
 	for i := range st.valid {
 		if Space(i) == s {
 			st.valid[i].Add(iv)
@@ -163,44 +221,50 @@ func (d *Directory) MarkWritten(b *Buffer, s Space, iv Interval) {
 			st.valid[i].Remove(iv)
 		}
 	}
+	return nil
 }
 
 // FlushTransfers returns the transfers required to make the host's copy
 // of b whole (the taskwait flush). Elements already valid on the host
 // move nothing.
-func (d *Directory) FlushTransfers(b *Buffer) []Transfer {
+func (d *Directory) FlushTransfers(b *Buffer) ([]Transfer, error) {
 	return d.TransfersForRead(b, HostSpace, b.Whole())
 }
 
 // FlushAllTransfers returns flush transfers for every registered buffer,
 // in registration order (deterministic).
-func (d *Directory) FlushAllTransfers() []Transfer {
+func (d *Directory) FlushAllTransfers() ([]Transfer, error) {
 	var out []Transfer
 	for id := 0; id < d.nextID; id++ {
 		st, ok := d.buffers[id]
 		if !ok {
 			continue
 		}
-		out = append(out, d.FlushTransfers(st.buf)...)
+		txs, err := d.FlushTransfers(st.buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, txs...)
 	}
-	return out
+	return out, nil
 }
 
 // DropDeviceCopies clears validity in every non-host space. The OmpSs
 // taskwait not only flushes dirty data to the host but releases the
 // device-side allocations, so data used again after a taskwait must be
 // re-transferred — the mechanism behind the paper's "multiple data
-// transfers" cost of synchronization. Panics if the host is not whole
+// transfers" cost of synchronization. It fails if the host is not whole
 // (callers flush first).
-func (d *Directory) DropDeviceCopies() {
+func (d *Directory) DropDeviceCopies() error {
 	if !d.HostWhole() {
-		panic("mem: DropDeviceCopies before the host is whole")
+		return fmt.Errorf("mem: DropDeviceCopies before the host is whole")
 	}
 	for _, st := range d.buffers {
 		for i := 1; i < len(st.valid); i++ {
 			st.valid[i].Clear()
 		}
 	}
+	return nil
 }
 
 // Reset restores the pristine state: every buffer valid in full on the
@@ -216,11 +280,11 @@ func (d *Directory) Reset() {
 }
 
 // InvalidateSpace drops all validity in space s (e.g. device reset in
-// failure-injection tests). Panics if that would lose the only copy of
-// any element.
-func (d *Directory) InvalidateSpace(s Space) {
+// failure-injection tests). It fails without mutating anything if that
+// would lose the only copy of any element.
+func (d *Directory) InvalidateSpace(s Space) error {
 	if s == HostSpace {
-		panic("mem: cannot invalidate the host space")
+		return fmt.Errorf("mem: cannot invalidate the host space")
 	}
 	for id := 0; id < d.nextID; id++ {
 		st, ok := d.buffers[id]
@@ -235,10 +299,15 @@ func (d *Directory) InvalidateSpace(s Space) {
 			only = only.Subtract(st.valid[i])
 		}
 		if !only.Empty() {
-			panic(fmt.Sprintf("mem: invalidating space %d loses %s%v", s, st.buf.Name, only.Intervals()[0]))
+			return fmt.Errorf("mem: invalidating space %d loses %s%v", s, st.buf.Name, only.Intervals()[0])
 		}
-		st.valid[s].Clear()
 	}
+	for id := 0; id < d.nextID; id++ {
+		if st, ok := d.buffers[id]; ok {
+			st.valid[s].Clear()
+		}
+	}
+	return nil
 }
 
 // HostWhole reports whether the host holds every registered buffer in

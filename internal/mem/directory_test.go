@@ -9,7 +9,20 @@ func newDir(t *testing.T) (*Directory, *Buffer) {
 	t.Helper()
 	d := NewDirectory(2) // host + one GPU
 	b := d.Register("a", 1000, 8)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
 	return d, b
+}
+
+// reads is a test helper asserting TransfersForRead succeeds.
+func reads(t *testing.T, d *Directory, b *Buffer, s Space, q Interval) []Transfer {
+	t.Helper()
+	ts, err := d.TransfersForRead(b, s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
 }
 
 func TestRegisterStartsHostValid(t *testing.T) {
@@ -26,31 +39,31 @@ func TestRegisterStartsHostValid(t *testing.T) {
 }
 
 func TestRegisterRejectsBadShape(t *testing.T) {
-	d := NewDirectory(1)
 	for _, c := range []struct{ elems, size int64 }{{-1, 8}, {10, 0}, {10, -4}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Register(%d,%d) did not panic", c.elems, c.size)
-				}
-			}()
-			d.Register("bad", c.elems, c.size)
-		}()
+		d := NewDirectory(1)
+		b := d.Register("bad", c.elems, c.size)
+		if d.Err() == nil {
+			t.Errorf("Register(%d,%d) did not record an error", c.elems, c.size)
+		}
+		if b == nil || b.Elems < 0 || b.ElemSize <= 0 {
+			t.Errorf("Register(%d,%d) returned an unusable handle %+v", c.elems, c.size, b)
+		}
 	}
 }
 
 func TestNewDirectoryNeedsHost(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewDirectory(0) did not panic")
-		}
-	}()
-	NewDirectory(0)
+	d := NewDirectory(0)
+	if d.Err() == nil {
+		t.Error("NewDirectory(0) did not record an error")
+	}
+	if d.Spaces() != 1 {
+		t.Errorf("spaces = %d, want clamped to 1", d.Spaces())
+	}
 }
 
 func TestTransfersForReadColdGPU(t *testing.T) {
 	d, b := newDir(t)
-	ts := d.TransfersForRead(b, 1, iv(100, 200))
+	ts := reads(t, d, b, 1, iv(100, 200))
 	if len(ts) != 1 {
 		t.Fatalf("transfers = %v", ts)
 	}
@@ -65,8 +78,10 @@ func TestTransfersForReadColdGPU(t *testing.T) {
 	if len(d.MissingIn(b, 1, iv(100, 200))) != 1 {
 		t.Fatal("TransfersForRead mutated state")
 	}
-	d.Commit(tr)
-	if len(d.TransfersForRead(b, 1, iv(100, 200))) != 0 {
+	if err := d.Commit(tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(reads(t, d, b, 1, iv(100, 200))) != 0 {
 		t.Fatal("committed data still transfers")
 	}
 	// Both spaces now hold the copy.
@@ -77,8 +92,10 @@ func TestTransfersForReadColdGPU(t *testing.T) {
 
 func TestTransfersForReadPartial(t *testing.T) {
 	d, b := newDir(t)
-	d.Commit(Transfer{Buf: b, Interval: iv(0, 50), From: HostSpace, To: 1})
-	ts := d.TransfersForRead(b, 1, iv(0, 100))
+	if err := d.Commit(Transfer{Buf: b, Interval: iv(0, 50), From: HostSpace, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := reads(t, d, b, 1, iv(0, 100))
 	if len(ts) != 1 || ts[0].Interval != iv(50, 100) {
 		t.Fatalf("partial read transfers = %v", ts)
 	}
@@ -86,7 +103,9 @@ func TestTransfersForReadPartial(t *testing.T) {
 
 func TestMarkWrittenInvalidatesOthers(t *testing.T) {
 	d, b := newDir(t)
-	d.MarkWritten(b, 1, iv(200, 300))
+	if err := d.MarkWritten(b, 1, iv(200, 300)); err != nil {
+		t.Fatal(err)
+	}
 	if d.ValidIn(b, HostSpace).Contains(iv(200, 300)) {
 		t.Fatal("host still valid after device write")
 	}
@@ -94,7 +113,7 @@ func TestMarkWrittenInvalidatesOthers(t *testing.T) {
 		t.Fatal("writer not valid after write")
 	}
 	// Host read now needs a transfer back.
-	ts := d.TransfersForRead(b, HostSpace, iv(200, 300))
+	ts := reads(t, d, b, HostSpace, iv(200, 300))
 	if len(ts) != 1 || ts[0].From != 1 {
 		t.Fatalf("read-back transfers = %v", ts)
 	}
@@ -102,16 +121,23 @@ func TestMarkWrittenInvalidatesOthers(t *testing.T) {
 
 func TestFlushTransfersRestoreHost(t *testing.T) {
 	d, b := newDir(t)
-	d.MarkWritten(b, 1, iv(0, 500))
+	if err := d.MarkWritten(b, 1, iv(0, 500)); err != nil {
+		t.Fatal(err)
+	}
 	if d.HostWhole() {
 		t.Fatal("host whole despite device write")
 	}
-	ts := d.FlushTransfers(b)
+	ts, err := d.FlushTransfers(b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ts) != 1 || ts[0].Interval != iv(0, 500) || ts[0].From != 1 || ts[0].To != HostSpace {
 		t.Fatalf("flush = %v", ts)
 	}
 	for _, tr := range ts {
-		d.Commit(tr)
+		if err := d.Commit(tr); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if !d.HostWhole() {
 		t.Fatal("host not whole after flush")
@@ -122,9 +148,16 @@ func TestFlushAllDeterministicOrder(t *testing.T) {
 	d := NewDirectory(2)
 	b1 := d.Register("x", 100, 4)
 	b2 := d.Register("y", 100, 4)
-	d.MarkWritten(b2, 1, iv(0, 10))
-	d.MarkWritten(b1, 1, iv(0, 10))
-	ts := d.FlushAllTransfers()
+	if err := d.MarkWritten(b2, 1, iv(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MarkWritten(b1, 1, iv(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := d.FlushAllTransfers()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ts) != 2 || ts[0].Buf != b1 || ts[1].Buf != b2 {
 		t.Fatalf("flush order = %v", ts)
 	}
@@ -132,39 +165,54 @@ func TestFlushAllDeterministicOrder(t *testing.T) {
 
 func TestSourceOfPrefersHost(t *testing.T) {
 	d, b := newDir(t)
-	d.Commit(Transfer{Buf: b, Interval: iv(0, 100), From: HostSpace, To: 1})
-	src, prefix := d.SourceOf(b, iv(0, 100))
+	if err := d.Commit(Transfer{Buf: b, Interval: iv(0, 100), From: HostSpace, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	src, prefix, err := d.SourceOf(b, iv(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if src != HostSpace || prefix != iv(0, 100) {
 		t.Fatalf("source = %d %v, want host full", src, prefix)
 	}
 }
 
-func TestSourceOfPanicsWhenLost(t *testing.T) {
+func TestSourceOfErrorsWhenLost(t *testing.T) {
 	d, b := newDir(t)
-	defer func() {
-		if recover() == nil {
-			t.Error("out-of-range source did not panic")
-		}
-	}()
-	d.SourceOf(b, iv(1000, 1100)) // beyond buffer: valid nowhere
+	if _, _, err := d.SourceOf(b, iv(1000, 1100)); err == nil { // beyond buffer: valid nowhere
+		t.Error("out-of-range source did not error")
+	}
 }
 
-func TestUnregisteredBufferPanics(t *testing.T) {
+func TestUnregisteredBufferOperations(t *testing.T) {
 	d := NewDirectory(2)
 	other := NewDirectory(2)
 	b := other.Register("foreign", 10, 4)
-	defer func() {
-		if recover() == nil {
-			t.Error("foreign buffer did not panic")
-		}
-	}()
-	d.ValidIn(b, HostSpace)
+	if !d.ValidIn(b, HostSpace).Empty() {
+		t.Error("foreign buffer valid somewhere")
+	}
+	if miss := d.MissingIn(b, HostSpace, iv(0, 10)); len(miss) != 1 || miss[0] != iv(0, 10) {
+		t.Errorf("foreign buffer MissingIn = %v, want all missing", miss)
+	}
+	if _, err := d.TransfersForRead(b, 1, iv(0, 10)); err == nil {
+		t.Error("foreign buffer read did not error")
+	}
+	if err := d.Commit(Transfer{Buf: b, Interval: iv(0, 5), From: HostSpace, To: 1}); err == nil {
+		t.Error("foreign buffer commit did not error")
+	}
+	if err := d.MarkWritten(b, 1, iv(0, 5)); err == nil {
+		t.Error("foreign buffer write did not error")
+	}
 }
 
 func TestInvalidateSpaceSafe(t *testing.T) {
 	d, b := newDir(t)
-	d.Commit(Transfer{Buf: b, Interval: iv(0, 100), From: HostSpace, To: 1})
-	d.InvalidateSpace(1) // host still has everything: fine
+	if err := d.Commit(Transfer{Buf: b, Interval: iv(0, 100), From: HostSpace, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InvalidateSpace(1); err != nil { // host still has everything: fine
+		t.Fatal(err)
+	}
 	if !d.ValidIn(b, 1).Empty() {
 		t.Fatal("space 1 still valid")
 	}
@@ -173,25 +221,35 @@ func TestInvalidateSpaceSafe(t *testing.T) {
 	}
 }
 
-func TestInvalidateSpaceLosingDataPanics(t *testing.T) {
+func TestInvalidateSpaceLosingDataErrors(t *testing.T) {
 	d, b := newDir(t)
-	d.MarkWritten(b, 1, iv(0, 10))
-	defer func() {
-		if recover() == nil {
-			t.Error("lossy invalidate did not panic")
-		}
-	}()
-	d.InvalidateSpace(1)
+	if err := d.MarkWritten(b, 1, iv(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InvalidateSpace(1); err == nil {
+		t.Error("lossy invalidate did not error")
+	}
+	// The refused invalidate must not have mutated anything.
+	if !d.ValidIn(b, 1).Contains(iv(0, 10)) {
+		t.Error("refused invalidate still dropped validity")
+	}
 }
 
-func TestInvalidateHostPanics(t *testing.T) {
+func TestInvalidateHostErrors(t *testing.T) {
 	d, _ := newDir(t)
-	defer func() {
-		if recover() == nil {
-			t.Error("host invalidate did not panic")
-		}
-	}()
-	d.InvalidateSpace(HostSpace)
+	if err := d.InvalidateSpace(HostSpace); err == nil {
+		t.Error("host invalidate did not error")
+	}
+}
+
+func TestDropDeviceCopiesNeedsWholeHost(t *testing.T) {
+	d, b := newDir(t)
+	if err := d.MarkWritten(b, 1, iv(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DropDeviceCopies(); err == nil {
+		t.Error("DropDeviceCopies with a dirty device did not error")
+	}
 }
 
 // Property: under random read/write/flush traffic across 3 spaces, the
@@ -208,17 +266,27 @@ func TestQuickDirectoryCoverage(t *testing.T) {
 			s := Space(rng.Intn(3))
 			switch rng.Intn(3) {
 			case 0: // read
-				for _, tr := range d.TransfersForRead(b, s, q) {
-					d.Commit(tr)
+				for _, tr := range reads(t, d, b, s, q) {
+					if err := d.Commit(tr); err != nil {
+						t.Fatal(err)
+					}
 				}
 				if len(d.MissingIn(b, s, q)) != 0 {
 					t.Fatal("read did not materialize data")
 				}
 			case 1: // write (model: read-modify-write locality)
-				d.MarkWritten(b, s, q)
+				if err := d.MarkWritten(b, s, q); err != nil {
+					t.Fatal(err)
+				}
 			case 2: // taskwait flush
-				for _, tr := range d.FlushAllTransfers() {
-					d.Commit(tr)
+				all, err := d.FlushAllTransfers()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tr := range all {
+					if err := d.Commit(tr); err != nil {
+						t.Fatal(err)
+					}
 				}
 				if !d.HostWhole() {
 					t.Fatal("flush left host incomplete")

@@ -38,12 +38,26 @@ func BenchmarkDirectoryReadWriteCycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lo := int64(i%1024) * 1024
 		iv := Interval{Lo: lo, Hi: lo + 1024}
-		for _, tr := range d.TransfersForRead(buf, 1, iv) {
-			d.Commit(tr)
+		txs, err := d.TransfersForRead(buf, 1, iv)
+		if err != nil {
+			b.Fatal(err)
 		}
-		d.MarkWritten(buf, 1, iv)
-		for _, tr := range d.FlushTransfers(buf) {
-			d.Commit(tr)
+		for _, tr := range txs {
+			if err := d.Commit(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.MarkWritten(buf, 1, iv); err != nil {
+			b.Fatal(err)
+		}
+		txs, err = d.FlushTransfers(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range txs {
+			if err := d.Commit(tr); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

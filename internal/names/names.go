@@ -1,0 +1,60 @@
+// Package names provides fuzzy lookup support for the registries
+// (applications, strategies): case-insensitive matching and
+// "did you mean" suggestions for near-miss spellings.
+package names
+
+import "strings"
+
+// Closest returns the candidate with the smallest edit distance to
+// name, comparing case-insensitively, or "" when nothing is close
+// enough to suggest. Ties resolve to the earliest candidate.
+func Closest(name string, candidates []string) string {
+	lower := strings.ToLower(name)
+	best, bestD := "", 0
+	for _, c := range candidates {
+		d := distance(lower, strings.ToLower(c))
+		if best == "" || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	// A suggestion must be meaningfully close: a fixed typo budget,
+	// and never a rewrite of most of the word.
+	if best == "" || bestD > 3 || bestD*2 >= len(best) {
+		return ""
+	}
+	return best
+}
+
+// distance is the Levenshtein edit distance between two strings.
+func distance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

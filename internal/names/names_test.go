@@ -1,0 +1,40 @@
+package names
+
+import "testing"
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"sp-single", "sp-signle", 2},
+	}
+	for _, c := range cases {
+		if got := distance(c.a, c.b); got != c.want {
+			t.Errorf("distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClosest(t *testing.T) {
+	strategies := []string{"SP-Single", "SP-Unified", "SP-Varied", "DP-Perf", "DP-Dep"}
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"SP-Signle", "SP-Single"},
+		{"dp-prf", "DP-Perf"},
+		{"SPSingle", "SP-Single"},
+		{"completely-wrong", ""},
+		{"x", ""},
+	}
+	for _, c := range cases {
+		if got := Closest(c.name, strategies); got != c.want {
+			t.Errorf("Closest(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"heteropart/internal/task"
+)
+
+// Diff renders a human-readable comparison of two plans for the same
+// problem — what the matchmaker's winner decided differently from the
+// runner-up. Each line is one dimension; identical dimensions are
+// omitted, so two equal plans diff to nothing.
+func Diff(a, b *ExecutionPlan) []string {
+	var out []string
+	line := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	if a.Strategy != b.Strategy {
+		line("strategy:   %s vs %s", a.Strategy, b.Strategy)
+	}
+	if a.Scheduler.Policy != b.Scheduler.Policy || a.Scheduler.Seeded != b.Scheduler.Seeded {
+		line("scheduler:  %s vs %s", describeScheduler(a.Scheduler), describeScheduler(b.Scheduler))
+	}
+	if ia, ib := a.Instances(), b.Instances(); ia != ib {
+		line("instances:  %d vs %d", ia, ib)
+	}
+	if ba, bb := barrierCount(a), barrierCount(b); ba != bb {
+		line("taskwaits:  %d vs %d intermediate", ba, bb)
+	}
+	if sa, sb := accelShare(a), accelShare(b); fmt.Sprintf("%.1f", sa) != fmt.Sprintf("%.1f", sb) {
+		line("accel pin:  %.1f%% vs %.1f%% of elements (dynamic %.1f%% vs %.1f%%)",
+			sa, sb, unpinnedShare(a), unpinnedShare(b))
+	}
+	for _, k := range decisionKeys(a, b) {
+		da, oka := a.Decisions[k]
+		db, okb := b.Decisions[k]
+		label := k
+		if label == "" {
+			label = "(unified)"
+		}
+		switch {
+		case oka && !okb:
+			line("decision %s: %s beta=%.3f ng=%d vs (none)", label, da.Config, da.Beta, da.NG)
+		case !oka && okb:
+			line("decision %s: (none) vs %s beta=%.3f ng=%d", label, db.Config, db.Beta, db.NG)
+		case da != db:
+			line("decision %s: %s beta=%.3f ng=%d vs %s beta=%.3f ng=%d",
+				label, da.Config, da.Beta, da.NG, db.Config, db.Beta, db.NG)
+		}
+	}
+	return out
+}
+
+func describeScheduler(s SchedulerSpec) string {
+	if s.Policy == PolicyPerf && s.Seeded {
+		return "perf (seeded)"
+	}
+	return s.Policy
+}
+
+func barrierCount(pl *ExecutionPlan) int {
+	n := 0
+	for i, ph := range pl.Phases {
+		if ph.Sync && i < len(pl.Phases)-1 {
+			n++
+		}
+	}
+	return n
+}
+
+// accelShare is the percentage of planned elements pinned to
+// accelerators.
+func accelShare(pl *ExecutionPlan) float64 {
+	var accel, total int64
+	for pin, n := range pl.ElemsByPin() {
+		total += n
+		if pin > 0 {
+			accel += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(accel) / float64(total)
+}
+
+// unpinnedShare is the percentage of planned elements left to the
+// dynamic scheduler.
+func unpinnedShare(pl *ExecutionPlan) float64 {
+	var total int64
+	byPin := pl.ElemsByPin()
+	for _, n := range byPin {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(byPin[task.Unpinned]) / float64(total)
+}
+
+func decisionKeys(a, b *ExecutionPlan) []string {
+	seen := make(map[string]bool)
+	for k := range a.Decisions {
+		seen[k] = true
+	}
+	for k := range b.Decisions {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,309 @@
+package plan_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/glinda"
+	"heteropart/internal/plan"
+	"heteropart/internal/strategy"
+	"heteropart/internal/task"
+)
+
+// buildProblem instantiates a small timing-mode problem.
+func buildProblem(t *testing.T, name string, n int64, iters int, sync apps.SyncMode) *apps.Problem {
+	t.Helper()
+	app, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Build(apps.Variant{N: n, Iters: iters, Sync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// decide plans strategy stratName for an app on the paper platform.
+func decide(t *testing.T, stratName, appName string, n int64, iters int, sync apps.SyncMode) (*plan.ExecutionPlan, *apps.Problem, *device.Platform) {
+	t.Helper()
+	plat := device.PaperPlatform(0)
+	p := buildProblem(t, appName, n, iters, sync)
+	s, err := strategy.ByName(stratName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.Plan(p, plat, strategy.Options{})
+	if err != nil {
+		t.Fatalf("%s plan on %s: %v", stratName, appName, err)
+	}
+	return pl, p, plat
+}
+
+// clone deep-copies a plan through its JSON encoding.
+func clone(t *testing.T, pl *plan.ExecutionPlan) *plan.ExecutionPlan {
+	t.Helper()
+	b, err := pl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out plan.ExecutionPlan
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestJSONRoundTripByteStable checks that plan -> JSON -> FromJSON ->
+// JSON is the identity on bytes and on values, for representative
+// plans from a static single-kernel strategy (carrying a Glinda
+// decision with a +Inf-bandwidth estimate hazard), a dynamic
+// multi-kernel strategy, and an atomic DAG strategy.
+func TestJSONRoundTripByteStable(t *testing.T) {
+	cases := []struct {
+		strat, app string
+		n          int64
+		iters      int
+		sync       apps.SyncMode
+	}{
+		{"SP-Single", "MatrixMul", 48, 1, apps.SyncDefault},
+		{"SP-Varied", "Convolution", 32, 1, apps.SyncDefault},
+		{"DP-Perf", "STREAM-Loop", 2048, 2, apps.SyncForced},
+		{"DP-Dep", "Cholesky", 64, 1, apps.SyncDefault},
+	}
+	for _, tc := range cases {
+		pl, _, _ := decide(t, tc.strat, tc.app, tc.n, tc.iters, tc.sync)
+		first, err := pl.JSON()
+		if err != nil {
+			t.Fatalf("%s/%s: encode: %v", tc.strat, tc.app, err)
+		}
+		back, err := plan.FromJSON(first)
+		if err != nil {
+			t.Fatalf("%s/%s: decode: %v", tc.strat, tc.app, err)
+		}
+		second, err := back.JSON()
+		if err != nil {
+			t.Fatalf("%s/%s: re-encode: %v", tc.strat, tc.app, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s/%s: JSON round trip is not byte-stable", tc.strat, tc.app)
+		}
+		if !reflect.DeepEqual(pl, back) {
+			t.Errorf("%s/%s: decoded plan differs from original", tc.strat, tc.app)
+		}
+	}
+}
+
+// TestEstimateInfBandwidthRoundTrip pins the +Inf sentinel: a kernel
+// that moves no data has infinite effective bandwidth, JSON has no
+// infinity literal, so the wire form carries -1.
+func TestEstimateInfBandwidthRoundTrip(t *testing.T) {
+	e := glinda.Estimate{Rc: 10, Rg: 100, B: math.Inf(1), N: 64}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"b":-1`) {
+		t.Fatalf("infinite bandwidth not encoded as -1 sentinel: %s", b)
+	}
+	var back glinda.Estimate
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.B, 1) {
+		t.Fatalf("sentinel did not decode back to +Inf: %v", back.B)
+	}
+	if back.Rc != e.Rc || back.Rg != e.Rg || back.N != e.N {
+		t.Fatalf("estimate fields lost in round trip: %+v", back)
+	}
+}
+
+// TestValidateRejectsCorruptPlans hand-corrupts a valid plan in every
+// way the validator guards against and checks each is rejected with
+// its specific error.
+func TestValidateRejectsCorruptPlans(t *testing.T) {
+	base, _, _ := decide(t, "SP-Single", "MatrixMul", 48, 1, apps.SyncDefault)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base plan invalid: %v", err)
+	}
+	if len(base.Phases) == 0 || len(base.Phases[0].Chunks) < 2 {
+		t.Fatalf("base plan too small to corrupt: %d phases", len(base.Phases))
+	}
+	cases := []struct {
+		name    string
+		corrupt func(pl *plan.ExecutionPlan)
+		want    string
+	}{
+		{"future version", func(pl *plan.ExecutionPlan) { pl.Version = 99 },
+			"unsupported version 99"},
+		{"unknown policy", func(pl *plan.ExecutionPlan) { pl.Scheduler.Policy = "fifo" },
+			`unknown scheduler policy "fifo"`},
+		{"no devices", func(pl *plan.ExecutionPlan) { pl.Devices = 0 },
+			"at least the host device"},
+		{"no phases", func(pl *plan.ExecutionPlan) { pl.Phases = nil },
+			"no phases"},
+		{"no chunks", func(pl *plan.ExecutionPlan) { pl.Phases[0].Chunks = nil },
+			"no chunks"},
+		{"empty chunk", func(pl *plan.ExecutionPlan) {
+			pl.Phases[0].Chunks[0].Hi = pl.Phases[0].Chunks[0].Lo
+		}, "empty range"},
+		{"tiling gap", func(pl *plan.ExecutionPlan) { pl.Phases[0].Chunks[1].Lo++ },
+			"left uncovered"},
+		{"tiling overlap", func(pl *plan.ExecutionPlan) { pl.Phases[0].Chunks[1].Lo-- },
+			"overlaps the previous chunk"},
+		{"chunk past kernel size", func(pl *plan.ExecutionPlan) {
+			chs := pl.Phases[0].Chunks
+			chs[len(chs)-1].Hi = pl.Phases[0].Size + 1
+		}, "outside kernel size"},
+		{"short coverage", func(pl *plan.ExecutionPlan) {
+			chs := pl.Phases[0].Chunks
+			chs[len(chs)-1].Hi--
+		}, "chunks cover"},
+		{"pin to unknown device", func(pl *plan.ExecutionPlan) { pl.Phases[0].Chunks[0].Pin = 7 },
+			"pinned to unknown device 7"},
+		{"unpinned under static", func(pl *plan.ExecutionPlan) {
+			pl.Phases[0].Chunks[0].Pin = task.Unpinned
+		}, "unpinned chunk under the static scheduler"},
+		{"atomic with split phase", func(pl *plan.ExecutionPlan) { pl.Atomic = true },
+			"atomic phases must be one whole-range chunk"},
+	}
+	for _, tc := range cases {
+		pl := clone(t, base)
+		tc.corrupt(pl)
+		err := pl.Validate()
+		if err == nil {
+			t.Errorf("%s: corrupted plan passed validation", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFromJSONValidates checks the decoder refuses structurally broken
+// plans instead of handing them to execution.
+func TestFromJSONValidates(t *testing.T) {
+	base, _, _ := decide(t, "SP-Single", "MatrixMul", 48, 1, apps.SyncDefault)
+	pl := clone(t, base)
+	pl.Phases[0].Chunks[1].Lo++ // open a gap
+	b, err := pl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.FromJSON(b); err == nil || !strings.Contains(err.Error(), "left uncovered") {
+		t.Fatalf("FromJSON accepted a gapped plan: %v", err)
+	}
+	if _, err := plan.FromJSON([]byte("{")); err == nil {
+		t.Fatal("FromJSON accepted malformed JSON")
+	}
+}
+
+// TestMaterializeBindErrors checks the bind-time guards: a plan only
+// materializes against the problem shape it was decided for.
+func TestMaterializeBindErrors(t *testing.T) {
+	t.Run("kernel mismatch", func(t *testing.T) {
+		pl, p, _ := decide(t, "SP-Single", "MatrixMul", 48, 1, apps.SyncDefault)
+		pl = clone(t, pl)
+		pl.Phases[0].Kernel = "bogus"
+		if _, err := pl.Materialize(p); err == nil || !strings.Contains(err.Error(), `kernel "bogus"`) {
+			t.Fatalf("kernel mismatch not caught: %v", err)
+		}
+	})
+	t.Run("size mismatch", func(t *testing.T) {
+		pl, _, _ := decide(t, "SP-Single", "MatrixMul", 48, 1, apps.SyncDefault)
+		bigger := buildProblem(t, "MatrixMul", 64, 1, apps.SyncDefault)
+		if _, err := pl.Materialize(bigger); err == nil || !strings.Contains(err.Error(), "decided for size") {
+			t.Fatalf("size mismatch not caught: %v", err)
+		}
+	})
+	t.Run("phase count mismatch", func(t *testing.T) {
+		pl, _, _ := decide(t, "SP-Single", "MatrixMul", 48, 1, apps.SyncDefault)
+		other := buildProblem(t, "STREAM-Seq", 4096, 1, apps.SyncDefault)
+		if _, err := pl.Materialize(other); err == nil || !strings.Contains(err.Error(), "phases") {
+			t.Fatalf("phase count mismatch not caught: %v", err)
+		}
+	})
+	t.Run("dropped synchronization", func(t *testing.T) {
+		pl, p, _ := decide(t, "SP-Varied", "Convolution", 32, 1, apps.SyncDefault)
+		pl = clone(t, pl)
+		for i := range pl.Phases {
+			pl.Phases[i].Sync = false
+		}
+		if _, err := pl.Materialize(p); err == nil || !strings.Contains(err.Error(), "plan drops it") {
+			t.Fatalf("dropped sync not caught: %v", err)
+		}
+	})
+	t.Run("atomicity mismatch", func(t *testing.T) {
+		pl, p, _ := decide(t, "DP-Dep", "Cholesky", 64, 1, apps.SyncDefault)
+		pl = clone(t, pl)
+		pl.Atomic = false
+		if _, err := pl.Materialize(p); err == nil || !strings.Contains(err.Error(), "atomicity mismatch") {
+			t.Fatalf("atomicity mismatch not caught: %v", err)
+		}
+	})
+}
+
+// TestMaterializeDeterministicStructure checks Materialize mints the
+// same task structure on every call (fresh instances, identical
+// shape), which is what lets one cached plan back concurrent runs.
+func TestMaterializeDeterministicStructure(t *testing.T) {
+	pl, p, _ := decide(t, "SP-Single", "MatrixMul", 48, 1, apps.SyncDefault)
+	a, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pl.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := a.Instances(), b.Instances()
+	if len(ia) != len(ib) || len(ia) != pl.Instances() {
+		t.Fatalf("instance counts differ: %d vs %d (plan says %d)",
+			len(ia), len(ib), pl.Instances())
+	}
+	for i := range ia {
+		if ia[i] == ib[i] {
+			t.Fatalf("instance %d shared between materializations", i)
+		}
+	}
+}
+
+// TestCheckPlatform checks the fingerprint gate: a plan refuses to
+// execute on hardware it was not decided for.
+func TestCheckPlatform(t *testing.T) {
+	pl, _, plat := decide(t, "SP-Single", "MatrixMul", 48, 1, apps.SyncDefault)
+	if err := pl.CheckPlatform(plat); err != nil {
+		t.Fatalf("plan refused its own platform: %v", err)
+	}
+	other := device.PaperPlatform(3)
+	if err := pl.CheckPlatform(other); err == nil || !strings.Contains(err.Error(), "decided for platform") {
+		t.Fatalf("foreign platform not refused: %v", err)
+	}
+}
+
+// TestDiff checks identical plans diff to nothing and different
+// strategies' plans surface their disagreements.
+func TestDiff(t *testing.T) {
+	a, _, _ := decide(t, "SP-Single", "BlackScholes", 5000, 1, apps.SyncDefault)
+	if d := plan.Diff(a, a); len(d) != 0 {
+		t.Fatalf("identical plans diff: %v", d)
+	}
+	b, _, _ := decide(t, "DP-Perf", "BlackScholes", 5000, 1, apps.SyncDefault)
+	d := plan.Diff(a, b)
+	if len(d) == 0 {
+		t.Fatal("SP-Single vs DP-Perf plans diff to nothing")
+	}
+	joined := strings.Join(d, "\n")
+	for _, want := range []string{"strategy:", "scheduler:"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff misses %q:\n%s", want, joined)
+		}
+	}
+}

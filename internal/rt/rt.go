@@ -179,6 +179,12 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 	if want := 1 + len(cfg.Platform.Accels); dir.Spaces() != want {
 		return nil, fmt.Errorf("rt: directory has %d spaces, platform needs %d", dir.Spaces(), want)
 	}
+	if err := dir.Err(); err != nil {
+		return nil, fmt.Errorf("rt: faulted directory: %w", err)
+	}
+	if err := plan.Err(); err != nil {
+		return nil, fmt.Errorf("rt: faulted plan: %w", err)
+	}
 
 	task.BuildDeps(plan)
 
@@ -267,7 +273,21 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
+	if err := e.eng.Err(); err != nil {
+		return nil, err
+	}
 	if e.remaining > 0 || e.opIdx < len(plan.Ops) {
+		if len(e.central) > 0 {
+			stuck := make([]string, 0, len(e.central))
+			for _, in := range e.central {
+				stuck = append(stuck, in.String())
+				if len(stuck) == 4 {
+					break
+				}
+			}
+			return nil, fmt.Errorf("rt: deadlock — %d instances unfinished, op %d/%d; scheduler %s left %d unplaceable in the central queue (first: %v)",
+				e.remaining, e.opIdx, len(plan.Ops), cfg.Scheduler.Name(), len(e.central), stuck)
+		}
 		return nil, fmt.Errorf("rt: deadlock — %d instances unfinished, op %d/%d",
 			e.remaining, e.opIdx, len(plan.Ops))
 	}
@@ -340,8 +360,13 @@ func (e *engine) maybeEagerFlush(dev int) {
 	if len(e.devQ[dev]) > 0 || len(e.central) > 0 || e.idle[dev] != e.slots[dev] {
 		return
 	}
+	all, err := e.dir.FlushAllTransfers()
+	if err != nil {
+		e.fail(err)
+		return
+	}
 	var txs []mem.Transfer
-	for _, tr := range e.dir.FlushAllTransfers() {
+	for _, tr := range all {
 		if int(tr.From) == dev {
 			txs = append(txs, tr)
 		}
@@ -363,16 +388,26 @@ func (e *engine) maybeEagerFlush(dev int) {
 // the device copies (taskwait semantics: the runtime releases device
 // allocations, so post-barrier reuse re-transfers), then continues.
 func (e *engine) flushThen(cont func()) {
-	transfers := e.dir.FlushAllTransfers()
+	transfers, err := e.dir.FlushAllTransfers()
+	if err != nil {
+		e.fail(err)
+		return
+	}
 	if len(transfers) == 0 {
-		e.dir.DropDeviceCopies()
+		if err := e.dir.DropDeviceCopies(); err != nil {
+			e.fail(err)
+			return
+		}
 		e.mx.taskwaitDone(0)
 		cont()
 		return
 	}
 	start := e.eng.Now()
 	e.ensure(transfers, func() {
-		e.dir.DropDeviceCopies()
+		if err := e.dir.DropDeviceCopies(); err != nil {
+			e.fail(err)
+			return
+		}
 		e.cfg.Trace.Add(trace.Record{
 			Kind: trace.Barrier, Start: start, End: e.eng.Now(),
 			Device: -1, Label: "taskwait-flush",
@@ -459,7 +494,10 @@ func (e *engine) runTransfer(tr mem.Transfer, done func()) {
 	lr.res(toDev).Acquire(dur,
 		func() { startAt = e.eng.Now() },
 		func() {
-			e.dir.Commit(tr)
+			if err := e.dir.Commit(tr); err != nil {
+				e.fail(err)
+				return
+			}
 			list := e.inflight[key]
 			for i, x := range list {
 				if x == fl {
@@ -618,7 +656,12 @@ func (e *engine) startTransfers(in *task.Instance, d *device.Device) {
 		if !a.Mode.Reads() {
 			continue
 		}
-		transfers = append(transfers, e.dir.TransfersForRead(a.Buf, space, a.Interval)...)
+		txs, err := e.dir.TransfersForRead(a.Buf, space, a.Interval)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		transfers = append(transfers, txs...)
 	}
 	if len(transfers) == 0 {
 		e.exec(in, d)
@@ -647,7 +690,10 @@ func (e *engine) complete(in *task.Instance, d *device.Device, startAt sim.Time,
 	space := mem.Space(d.ID)
 	for _, a := range in.Accesses {
 		if a.Mode.Writes() {
-			e.dir.MarkWritten(a.Buf, space, a.Interval)
+			if err := e.dir.MarkWritten(a.Buf, space, a.Interval); err != nil {
+				e.fail(err)
+				return
+			}
 		}
 	}
 

@@ -27,9 +27,10 @@ func threeDevicePlatform(m int) *device.Platform {
 		PeakSPGFLOPS: 200, PeakDPGFLOPS: 200, MemBWGBps: 200,
 	}
 	link := device.Link{HtoDGBps: 1, DtoHGBps: 1, Duplex: true}
-	return device.NewPlatform(cpu, m,
+	p, _ := device.NewPlatform(cpu, m,
 		device.Attachment{Model: fast, Link: link},
 		device.Attachment{Model: slow, Link: link})
+	return p
 }
 
 func TestMultiAccelExecution(t *testing.T) {
@@ -275,7 +276,10 @@ func TestCPUOnlyPlatform(t *testing.T) {
 		Name: "cpu", Kind: device.CPU, Cores: 2, HWThreads: 2,
 		PeakSPGFLOPS: 100, PeakDPGFLOPS: 100, MemBWGBps: 100,
 	}
-	plat := device.NewPlatform(cpu, 2)
+	plat, err := device.NewPlatform(cpu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dir := mem.NewDirectory(1)
 	buf := dir.Register("a", 2000, 8)
 	k := flopsKernel("k", buf, 1e5)

@@ -24,7 +24,8 @@ func testPlatform(m int) *device.Platform {
 		PeakSPGFLOPS: 1000, PeakDPGFLOPS: 1000, MemBWGBps: 1000,
 	}
 	link := device.Link{HtoDGBps: 1, DtoHGBps: 1, Duplex: true}
-	return device.NewPlatform(cpu, m, device.Attachment{Model: gpu, Link: link})
+	p, _ := device.NewPlatform(cpu, m, device.Attachment{Model: gpu, Link: link})
+	return p
 }
 
 var fullEff = map[device.Kind]device.Efficiency{

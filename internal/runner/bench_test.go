@@ -1,0 +1,45 @@
+package runner
+
+import "testing"
+
+// benchSweepSpecs is a size sweep with three observation variants per
+// size — the shape the plan cache accelerates: 12 distinct results,
+// but only 4 distinct decisions.
+func benchSweepSpecs() []Spec {
+	sizes := []int64{1 << 16, 1 << 17, 1 << 18, 1 << 19}
+	var specs []Spec
+	for _, n := range sizes {
+		specs = append(specs,
+			Spec{App: "BlackScholes", Strategy: "SP-Single", N: n},
+			Spec{App: "BlackScholes", Strategy: "SP-Single", N: n, CollectTrace: true},
+			Spec{App: "BlackScholes", Strategy: "SP-Single", N: n, Compute: true},
+		)
+	}
+	return specs
+}
+
+// BenchmarkSizeSweepPlanCache measures the sweep with the plan cache
+// on (the default): each size decides once, the observation variants
+// reuse the plan.
+func BenchmarkSizeSweepPlanCache(b *testing.B) {
+	benchSweep(b, false)
+}
+
+// BenchmarkSizeSweepNoCache is the baseline: every point re-runs the
+// Glinda profiling probes before executing.
+func BenchmarkSizeSweepNoCache(b *testing.B) {
+	benchSweep(b, true)
+}
+
+func benchSweep(b *testing.B, disableCache bool) {
+	specs := benchSweepSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh runner per iteration: the measurement is one cold
+		// sweep pass, not amortized cache hits across passes.
+		r := New(Config{Workers: 4, DisableCache: disableCache})
+		if _, err := r.RunAll(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"testing"
+
+	"heteropart/internal/metrics"
+)
+
+// TestPlanCacheSharesDecisionAcrossVariants: a sweep that varies only
+// what an execution observes — compute mode, tracing — decides once
+// and reuses the plan; the decision is cached separately from results.
+func TestPlanCacheSharesDecisionAcrossVariants(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 1, Metrics: reg})
+	specs := []Spec{
+		{App: "BlackScholes", Strategy: "SP-Single", N: 5000},
+		{App: "BlackScholes", Strategy: "SP-Single", N: 5000, Compute: true},
+		{App: "BlackScholes", Strategy: "SP-Single", N: 5000, Compute: true, CollectTrace: true},
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := counterValue(t, reg, "plan_cache_misses_total"); v != 1 {
+		t.Fatalf("plan misses = %v, want 1 (one decision for the sweep)", v)
+	}
+	if v := counterValue(t, reg, "plan_cache_hits_total"); v != 2 {
+		t.Fatalf("plan hits = %v, want 2", v)
+	}
+	if v := counterValue(t, reg, "runner_runs_total"); v != 3 {
+		t.Fatalf("runs = %v, want 3 (results are not shared)", v)
+	}
+	// A cached decision must not change what executes: timing-only and
+	// compute runs of one plan land on the same virtual-time world.
+	for i := 1; i < len(results); i++ {
+		if results[i].Outcome.Result.Makespan != results[0].Outcome.Result.Makespan {
+			t.Fatalf("spec %d makespan %v, spec 0 %v",
+				i, results[i].Outcome.Result.Makespan, results[0].Outcome.Result.Makespan)
+		}
+	}
+	if err := results[1].Verify(); err != nil {
+		t.Fatalf("compute run under a cached plan does not verify: %v", err)
+	}
+}
+
+// TestPlanCacheAliasesMatchmadeSpec: the plan cache keys on the
+// resolved strategy name, so a matchmade spec and an explicit
+// best-strategy spec share one decision.
+func TestPlanCacheAliasesMatchmadeSpec(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 1, Metrics: reg})
+	matchmade, err := r.Run(Spec{App: "BlackScholes", N: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchmade.Report == nil {
+		t.Fatal("matchmade spec carries no analyzer report")
+	}
+	explicit, err := r.Run(Spec{App: "BlackScholes", Strategy: matchmade.Report.Best, N: 5000, Compute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := counterValue(t, reg, "plan_cache_misses_total"); v != 1 {
+		t.Fatalf("plan misses = %v, want 1", v)
+	}
+	if v := counterValue(t, reg, "plan_cache_hits_total"); v != 1 {
+		t.Fatalf("plan hits = %v, want 1", v)
+	}
+	if explicit.Outcome.Strategy != matchmade.Outcome.Strategy {
+		t.Fatalf("strategies differ: %q vs %q", explicit.Outcome.Strategy, matchmade.Outcome.Strategy)
+	}
+}
+
+// TestPlanCacheBypassedForMetricsSpecs: a spec with a private metrics
+// registry plans inline so the profiling telemetry lands in that
+// registry — the plan cache must stay out of the way.
+func TestPlanCacheBypassedForMetricsSpecs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 1, Metrics: reg})
+	specs := []Spec{
+		{App: "BlackScholes", Strategy: "SP-Single", N: 5000, WithMetrics: true},
+		{App: "BlackScholes", Strategy: "SP-Single", N: 5000, WithMetrics: true, CollectTrace: true},
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if v := counterValue(t, reg, "plan_cache_misses_total"); v != 0 {
+		t.Fatalf("plan misses = %v, want 0 (metrics specs bypass the plan cache)", v)
+	}
+	if v := counterValue(t, reg, "plan_cache_hits_total"); v != 0 {
+		t.Fatalf("plan hits = %v, want 0", v)
+	}
+	if v := counterValue(t, reg, "runner_runs_total"); v != 2 {
+		t.Fatalf("runs = %v, want 2", v)
+	}
+}
+
+// TestPlanCacheSingleFlightUnderContention: many workers racing for
+// one undecided plan coalesce onto a single decision.
+func TestPlanCacheSingleFlightUnderContention(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Workers: 8, Metrics: reg})
+	var specs []Spec
+	for i := 0; i < 16; i++ {
+		specs = append(specs, Spec{
+			App: "Nbody", Strategy: "SP-Single", N: 256, Iters: 2,
+			Compute: i%2 == 0, CollectTrace: i%4 < 2, NoSeed: i%8 < 4,
+		})
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 specs collapse to 8 distinct results (the result cache) but
+	// only 2 decisions: NoSeed participates in the plan key, compute
+	// and trace settings do not.
+	if v := counterValue(t, reg, "plan_cache_misses_total"); v != 2 {
+		t.Fatalf("plan misses = %v, want 2", v)
+	}
+	if hits := counterValue(t, reg, "plan_cache_hits_total"); hits != 6 {
+		t.Fatalf("plan hits = %v, want 6 (8 executions - 2 decisions)", hits)
+	}
+	for i, res := range results {
+		if res.Outcome.Result.Makespan != results[0].Outcome.Result.Makespan {
+			t.Fatalf("spec %d makespan %v differs from spec 0 %v",
+				i, res.Outcome.Result.Makespan, results[0].Outcome.Result.Makespan)
+		}
+	}
+}

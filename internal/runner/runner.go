@@ -16,6 +16,14 @@
 // onto one execution and all receive the identical *Result, which
 // also keeps the hit/miss counters deterministic regardless of the
 // worker count.
+//
+// Decisions are cached separately from results: a plan cache keyed by
+// Spec.PlanKey — the decision inputs only, excluding compute/trace/
+// metrics settings — holds each strategy's decided ExecutionPlan, so
+// sweep points sharing an (app, platform, strategy, size) prefix skip
+// the repeated Glinda profiling and go straight to execution. Plans
+// are immutable and materialize fresh task instances per run, so one
+// cached plan safely backs concurrent executions.
 package runner
 
 import (
@@ -25,7 +33,9 @@ import (
 
 	"heteropart/internal/analyzer"
 	"heteropart/internal/apps"
+	"heteropart/internal/device"
 	"heteropart/internal/metrics"
+	"heteropart/internal/plan"
 	"heteropart/internal/strategy"
 )
 
@@ -67,6 +77,13 @@ type cacheEntry struct {
 	err  error
 }
 
+// planEntry is the plan cache's single-flight slot.
+type planEntry struct {
+	done chan struct{}
+	pl   *plan.ExecutionPlan
+	err  error
+}
+
 // Runner executes Specs over a bounded worker pool with an optional
 // content-addressed result cache. The zero value is not usable; call
 // New.
@@ -78,11 +95,13 @@ type Runner struct {
 	// execution they wait on.
 	sem chan int
 
-	mu    sync.Mutex
-	cache map[string]*cacheEntry // nil when caching is off
+	mu        sync.Mutex
+	cache     map[string]*cacheEntry // nil when caching is off
+	planCache map[string]*planEntry  // nil when caching is off
 
-	runs, hits, misses *metrics.Counter
-	workerRuns         []*metrics.Counter
+	runs, hits, misses   *metrics.Counter
+	planHits, planMisses *metrics.Counter
+	workerRuns           []*metrics.Counter
 }
 
 // New builds a runner.
@@ -99,11 +118,14 @@ func New(cfg Config) *Runner {
 	}
 	if !cfg.DisableCache {
 		r.cache = make(map[string]*cacheEntry)
+		r.planCache = make(map[string]*planEntry)
 	}
 	if m := cfg.Metrics; m != nil {
 		r.runs = m.Counter("runner_runs_total", "simulation runs executed by the sweep pool")
 		r.hits = m.Counter("runner_cache_hits_total", "sweep points served from the result cache")
 		r.misses = m.Counter("runner_cache_misses_total", "sweep points that had to execute")
+		r.planHits = m.Counter("plan_cache_hits_total", "executions that reused a decided plan")
+		r.planMisses = m.Counter("plan_cache_misses_total", "executions that had to decide a plan")
 		r.workerRuns = make([]*metrics.Counter, cfg.Workers)
 		for i := range r.workerRuns {
 			r.workerRuns[i] = m.Counter(
@@ -195,27 +217,82 @@ func (r *Runner) execute(spec Spec) (*Result, error) {
 		CollectTrace: spec.CollectTrace,
 		Metrics:      res.Metrics,
 	}
-	if spec.Strategy == "" {
-		rep, out, err := analyzer.Matchmake(p, plat, opts)
+	// Resolve the strategy first (for matchmade specs through the
+	// analyzer — Analyze is pure, so splitting it from the execution
+	// preserves Matchmake's behaviour), then decide and execute as
+	// separate steps so the decision can come from the plan cache.
+	stratName := spec.Strategy
+	if stratName == "" {
+		rep, err := analyzer.Analyze(p)
 		if err != nil {
 			return nil, err
 		}
-		res.Report, res.Outcome = &rep, out
-	} else {
-		s, err := strategy.ByName(spec.Strategy)
-		if err != nil {
-			return nil, err
-		}
-		out, err := s.Run(p, plat, opts)
-		if err != nil {
-			return nil, err
-		}
-		res.Outcome = out
+		res.Report = &rep
+		stratName = rep.Best
 	}
+	s, err := strategy.ByName(stratName)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := r.planFor(spec, s, plat, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := strategy.Execute(pl, p, plat, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Outcome = out
 	res.Verify = p.Verify
 	r.runs.Inc()
 	if r.workerRuns != nil {
 		r.workerRuns[worker].Inc()
 	}
 	return res, nil
+}
+
+// planFor returns the spec's decided ExecutionPlan, from the plan
+// cache when possible. Specs with a private metrics registry plan
+// inline on their own problem so the Glinda profiling gauges land in
+// that registry (a cached decision would silently skip them).
+func (r *Runner) planFor(spec Spec, s strategy.Strategy, plat *device.Platform,
+	p *apps.Problem, opts strategy.Options) (*plan.ExecutionPlan, error) {
+	if r.planCache == nil || spec.WithMetrics {
+		return s.Plan(p, plat, opts)
+	}
+	key := spec.PlanKey(s.Name())
+	r.mu.Lock()
+	if e, ok := r.planCache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		r.planHits.Inc()
+		return e.pl, e.err
+	}
+	e := &planEntry{done: make(chan struct{})}
+	r.planCache[key] = e
+	r.mu.Unlock()
+	r.planMisses.Inc()
+	e.pl, e.err = r.decide(spec, s, plat)
+	close(e.done)
+	return e.pl, e.err
+}
+
+// decide plans on a fresh timing-only problem build. The decision
+// depends only on the timing model — Glinda's probes simulate in
+// virtual time whether or not kernels compute real data — so
+// compute-mode and trace-mode variants of a spec share the cached
+// plan, and planning here leaves the caller's problem untouched.
+func (r *Runner) decide(spec Spec, s strategy.Strategy, plat *device.Platform) (*plan.ExecutionPlan, error) {
+	app, err := apps.ByName(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	p, err := app.Build(apps.Variant{
+		N: spec.N, Iters: spec.Iters, Sync: spec.Sync,
+		Spaces: 1 + len(plat.Accels),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Plan(p, plat, strategy.Options{Chunks: spec.Chunks, NoSeed: spec.NoSeed})
 }

@@ -4,10 +4,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"strings"
 
 	"heteropart/internal/apps"
 	"heteropart/internal/device"
+	"heteropart/internal/plan"
 )
 
 // Spec names one independent simulation run — the unit the sweep
@@ -59,21 +59,10 @@ func (s Spec) platform() *device.Platform {
 // PlatformFingerprint renders the identity of a platform from its
 // contents: device models, thread count, and link characteristics.
 // Two platforms with equal fingerprints model the same hardware, so
-// runs on them are interchangeable for caching purposes.
+// runs on them are interchangeable for caching purposes. It is
+// plan.Fingerprint — the same identity gates plan replay.
 func PlatformFingerprint(p *device.Platform) string {
-	if p == nil {
-		return "(nil)"
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s/m=%d/%.1f/%.1f", p.Host.Name, p.Host.Share,
-		p.Host.PeakSPGFLOPS, p.Host.MemBWGBps)
-	for _, a := range p.Accels {
-		l := p.LinkOf(a.ID)
-		fmt.Fprintf(&b, "+%s/%.1f/%.1f/link=%.1f:%.1f:%d:%t",
-			a.Name, a.PeakSPGFLOPS, a.MemBWGBps,
-			l.HtoDGBps, l.DtoHGBps, int64(l.Latency), l.Duplex)
-	}
-	return b.String()
+	return plan.Fingerprint(p)
 }
 
 // Canonical renders the spec as a stable, human-readable encoding:
@@ -91,9 +80,30 @@ func (s Spec) Canonical() string {
 }
 
 // Key is the content address of the spec: a SHA-256 over the canonical
-// encoding. The cache is keyed by it.
+// encoding. The result cache is keyed by it.
 func (s Spec) Key() string {
 	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// PlanCanonical is the canonical encoding of the spec's *decision*
+// inputs: the fields that determine the ExecutionPlan a strategy
+// produces. Compute, trace and metrics settings are deliberately
+// absent — they change what an execution observes, not what the
+// strategy decides — so a sweep toggling them shares one decided plan.
+// resolved is the strategy's canonical name (for matchmade specs, the
+// analyzer's pick), so "(matchmake)" and an explicit best-strategy
+// spec alias to the same plan.
+func (s Spec) PlanCanonical(resolved string) string {
+	return fmt.Sprintf("plan|app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|seed=%d",
+		s.App, resolved, int(s.Sync), s.N, s.Iters,
+		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Seed)
+}
+
+// PlanKey is the content address of the decision inputs; the plan
+// cache is keyed by it.
+func (s Spec) PlanKey(resolved string) string {
+	sum := sha256.Sum256([]byte(s.PlanCanonical(resolved)))
 	return hex.EncodeToString(sum[:])
 }
 

@@ -63,8 +63,11 @@ func TestPlatformFingerprintContents(t *testing.T) {
 			t.Fatalf("fingerprint %q missing %q", fp, want)
 		}
 	}
-	gtx := device.NewPlatform(device.XeonE5_2620(), 12,
+	gtx, err := device.NewPlatform(device.XeonE5_2620(), 12,
 		device.Attachment{Model: device.GTX680(), Link: device.PCIeGen3x16()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if PlatformFingerprint(gtx) == fp {
 		t.Fatal("different accelerators fingerprint identically")
 	}

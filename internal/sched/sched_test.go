@@ -210,7 +210,7 @@ func TestPerfUnknownKernelExplores(t *testing.T) {
 	}
 }
 
-func TestStaticPanicsOnUnpinned(t *testing.T) {
+func TestStaticDeclinesUnpinned(t *testing.T) {
 	s := NewStatic()
 	if s.Overhead() != 0 {
 		t.Fatal("static policy must have zero decision overhead")
@@ -218,12 +218,9 @@ func TestStaticPanicsOnUnpinned(t *testing.T) {
 	if s.OnIdle(0, nil, paperView()) != nil {
 		t.Fatal("static OnIdle must return nil")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("static OnReady did not panic")
-		}
-	}()
-	s.OnReady(inst(kernel("k"), 0, 0, 10, -1), paperView())
+	if _, ok := s.OnReady(inst(kernel("k"), 0, 0, 10, -1), paperView()); ok {
+		t.Error("static OnReady placed an unpinned instance; it must decline")
+	}
 }
 
 func TestPolicyNames(t *testing.T) {

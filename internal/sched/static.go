@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"fmt"
-
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
 )
@@ -11,8 +9,9 @@ import (
 // strategies and the Only-CPU / Only-GPU configurations): every
 // instance carries its device, so the scheduler is never consulted —
 // and there is no per-instance decision overhead, which is the paper's
-// core argument for static partitioning. Receiving an unpinned instance
-// is a plan bug and panics.
+// core argument for static partitioning. An unpinned instance is a
+// plan bug: Static declines to place it, stranding it in the central
+// queue, and the runtime reports the stuck instances as a deadlock.
 type Static struct{}
 
 // NewStatic returns the static no-op policy.
@@ -22,9 +21,7 @@ func NewStatic() Static { return Static{} }
 func (Static) Name() string { return "static" }
 
 // OnReady implements Scheduler.
-func (Static) OnReady(in *task.Instance, _ View) (int, bool) {
-	panic(fmt.Sprintf("sched: unpinned instance %v under static policy", in))
-}
+func (Static) OnReady(*task.Instance, View) (int, bool) { return 0, false }
 
 // OnIdle implements Scheduler.
 func (Static) OnIdle(int, []*task.Instance, View) *task.Instance { return nil }

@@ -122,6 +122,9 @@ type Engine struct {
 	queue  eventHeap
 	fired  uint64
 	halted bool
+	// err records the first scheduling fault (an event scheduled in the
+	// past). It halts the run loop; callers inspect it through Err.
+	err error
 	// wall accumulates the real time spent inside Run/RunUntil, for
 	// the observability layer's virtual-vs-wall clock ratio. Tracking
 	// costs two monotonic clock reads per Run call, not per event.
@@ -142,16 +145,27 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: that is always a logic error in a discrete-event model.
+// past is always a logic error in a discrete-event model: the engine
+// records the fault (visible through Err), halts the run loop, and
+// returns an already-canceled event so the caller's handle stays safe
+// to use.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+		if e.err == nil {
+			e.err = fmt.Errorf("sim: scheduling at %v before now %v", t, e.now)
+		}
+		e.Halt()
+		return &Event{at: t, dead: true, idx: -1}
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
 }
+
+// Err reports the first scheduling fault, or nil. A non-nil error means
+// the run loop halted early and the simulation state is suspect.
+func (e *Engine) Err() error { return e.err }
 
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Duration, fn func()) *Event {
@@ -193,7 +207,7 @@ func (e *Engine) WallTime() time.Duration { return e.wall }
 func (e *Engine) Run() Time {
 	start := time.Now()
 	e.halted = false
-	for !e.halted && e.Step() {
+	for !e.halted && e.err == nil && e.Step() {
 	}
 	e.wall += time.Since(start)
 	return e.now
@@ -206,7 +220,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	start := time.Now()
 	defer func() { e.wall += time.Since(start) }()
 	e.halted = false
-	for !e.halted {
+	for !e.halted && e.err == nil {
 		// Peek.
 		var next *Event
 		for len(e.queue) > 0 && e.queue[0].dead {

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Resource models a serially-shared facility (a PCIe link direction, a
 // DMA engine, a GPU command queue). Requests are served FIFO: each
 // acquisition holds the resource for a caller-specified duration, and the
@@ -65,11 +67,11 @@ type Slots struct {
 }
 
 // NewSlots creates a k-server pool. k must be >= 1.
-func NewSlots(eng *Engine, name string, k int) *Slots {
+func NewSlots(eng *Engine, name string, k int) (*Slots, error) {
 	if k < 1 {
-		panic("sim: Slots needs k >= 1")
+		return nil, fmt.Errorf("sim: Slots needs k >= 1, got %d", k)
 	}
-	return &Slots{eng: eng, name: name, freeAt: make([]Time, k)}
+	return &Slots{eng: eng, name: name, freeAt: make([]Time, k)}, nil
 }
 
 // Name returns the pool's diagnostic name.

@@ -46,7 +46,10 @@ func BenchmarkResourceAcquire(b *testing.B) {
 // BenchmarkSlotsAcquire measures the k-server pool.
 func BenchmarkSlotsAcquire(b *testing.B) {
 	e := NewEngine()
-	s := NewSlots(e, "cpu", 12)
+	s, err := NewSlots(e, "cpu", 12)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Acquire(10, nil, nil)

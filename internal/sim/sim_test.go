@@ -65,17 +65,23 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
-func TestEnginePastSchedulingPanics(t *testing.T) {
+func TestEnginePastSchedulingErrors(t *testing.T) {
 	e := NewEngine()
+	reached := false
 	e.At(100, func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("scheduling in the past did not panic")
-			}
-		}()
-		e.At(50, func() {})
+		ev := e.At(50, func() { t.Error("past event fired") })
+		if ev == nil {
+			t.Error("At returned a nil event handle")
+		}
 	})
+	e.At(200, func() { reached = true })
 	e.Run()
+	if e.Err() == nil {
+		t.Fatal("scheduling in the past did not set Err")
+	}
+	if reached {
+		t.Error("run loop continued past the scheduling fault")
+	}
 }
 
 func TestEngineHalt(t *testing.T) {
@@ -183,7 +189,10 @@ func TestResourceIdleGap(t *testing.T) {
 
 func TestSlotsParallelism(t *testing.T) {
 	e := NewEngine()
-	s := NewSlots(e, "cpu", 2)
+	s, err := NewSlots(e, "cpu", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var ends []Time
 	for i := 0; i < 4; i++ {
 		s.Acquire(100, nil, func(int) { ends = append(ends, e.Now()) })
@@ -198,19 +207,19 @@ func TestSlotsParallelism(t *testing.T) {
 	}
 }
 
-func TestSlotsWidthOnePanicsOnZero(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewSlots(0) did not panic")
-		}
-	}()
+func TestSlotsRejectsZeroWidth(t *testing.T) {
 	e := NewEngine()
-	NewSlots(e, "x", 0)
+	if _, err := NewSlots(e, "x", 0); err == nil {
+		t.Error("NewSlots(0) did not error")
+	}
 }
 
 func TestSlotsStartCallbackGetsSlotIndex(t *testing.T) {
 	e := NewEngine()
-	s := NewSlots(e, "cpu", 3)
+	s, err := NewSlots(e, "cpu", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[int]bool{}
 	for i := 0; i < 3; i++ {
 		s.Acquire(10, func(slot int) { seen[slot] = true }, nil)
@@ -280,7 +289,10 @@ func TestQuickSlotsMakespan(t *testing.T) {
 		kk := int(k%4) + 1
 		nn := int(n % 32)
 		e := NewEngine()
-		s := NewSlots(e, "p", kk)
+		s, err := NewSlots(e, "p", kk)
+		if err != nil {
+			return false
+		}
 		const L = 100
 		var end Time
 		for i := 0; i < nn; i++ {
@@ -370,7 +382,10 @@ func TestResourceAndSlotsNames(t *testing.T) {
 	if r.Name() != "link" {
 		t.Fatal("resource name")
 	}
-	s := NewSlots(e, "cpu", 3)
+	s, err := NewSlots(e, "cpu", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Name() != "cpu" || s.Width() != 3 {
 		t.Fatal("slots name/width")
 	}

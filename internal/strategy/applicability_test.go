@@ -1,0 +1,114 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"heteropart/internal/classify"
+)
+
+// tableI is the paper's applicability matrix (Table I), written out
+// literally so any drift in a strategy's Applicable is caught against
+// the source. Rows are strategies, columns the five application
+// classes; the paper's matrix does not depend on the synchronization
+// variant (the "w"/"w/o" split changes which strategy *wins*, not
+// which are applicable), so the golden test checks both values of
+// needsSync against the same row.
+var tableI = map[string]map[classify.Class]bool{
+	"SP-Single": {
+		classify.SKOne: true, classify.SKLoop: true,
+		classify.MKSeq: false, classify.MKLoop: false, classify.MKDAG: false,
+	},
+	"SP-Unified": {
+		classify.SKOne: false, classify.SKLoop: false,
+		classify.MKSeq: true, classify.MKLoop: true, classify.MKDAG: false,
+	},
+	"SP-Varied": {
+		classify.SKOne: false, classify.SKLoop: false,
+		classify.MKSeq: true, classify.MKLoop: true, classify.MKDAG: false,
+	},
+	"DP-Perf": {
+		classify.SKOne: true, classify.SKLoop: true,
+		classify.MKSeq: true, classify.MKLoop: true, classify.MKDAG: true,
+	},
+	"DP-Dep": {
+		classify.SKOne: true, classify.SKLoop: true,
+		classify.MKSeq: true, classify.MKLoop: true, classify.MKDAG: true,
+	},
+	"Only-GPU": {
+		classify.SKOne: true, classify.SKLoop: true,
+		classify.MKSeq: true, classify.MKLoop: true, classify.MKDAG: true,
+	},
+	"Only-CPU": {
+		classify.SKOne: true, classify.SKLoop: true,
+		classify.MKSeq: true, classify.MKLoop: true, classify.MKDAG: true,
+	},
+	"DP-Converted": {
+		classify.SKOne: true, classify.SKLoop: true,
+		classify.MKSeq: true, classify.MKLoop: true, classify.MKDAG: false,
+	},
+	"DP-Refined": {
+		classify.SKOne: false, classify.SKLoop: false,
+		classify.MKSeq: false, classify.MKLoop: false, classify.MKDAG: true,
+	},
+}
+
+// TestApplicabilityMatchesTableI pins every strategy's Applicable
+// against the literal Table I matrix, for all five classes and both
+// synchronization variants.
+func TestApplicabilityMatchesTableI(t *testing.T) {
+	classes := []classify.Class{
+		classify.SKOne, classify.SKLoop, classify.MKSeq, classify.MKLoop, classify.MKDAG,
+	}
+	strategies := append(All(), DPRefinedDAG{})
+	if len(strategies) != len(tableI) {
+		t.Fatalf("golden table has %d rows, registry has %d strategies",
+			len(tableI), len(strategies))
+	}
+	for _, s := range strategies {
+		row, ok := tableI[s.Name()]
+		if !ok {
+			t.Errorf("strategy %s missing from the golden table", s.Name())
+			continue
+		}
+		for _, cls := range classes {
+			for _, needsSync := range []bool{false, true} {
+				if got := s.Applicable(cls, needsSync); got != row[cls] {
+					t.Errorf("%s.Applicable(%s, needsSync=%t) = %t, Table I says %t",
+						s.Name(), cls, needsSync, got, row[cls])
+				}
+			}
+		}
+	}
+}
+
+// TestByNameCaseInsensitive checks registry lookup ignores case.
+func TestByNameCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"SP-Single", "sp-single", "SP-SINGLE", "dp-perf", "ONLY-gpu"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if !strings.EqualFold(s.Name(), name) {
+			t.Errorf("ByName(%q) resolved to %s", name, s.Name())
+		}
+	}
+}
+
+// TestByNameSuggests checks near-miss names get a did-you-mean hint
+// and hopeless names do not.
+func TestByNameSuggests(t *testing.T) {
+	_, err := ByName("SP-Signle")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "SP-Single"?`) {
+		t.Errorf("ByName(SP-Signle) = %v, want SP-Single suggestion", err)
+	}
+	_, err = ByName("dp-prf")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "DP-Perf"?`) {
+		t.Errorf("ByName(dp-prf) = %v, want DP-Perf suggestion", err)
+	}
+	_, err = ByName("round-robin")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("ByName(round-robin) = %v, want plain unknown-strategy error", err)
+	}
+}

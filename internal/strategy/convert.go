@@ -7,8 +7,7 @@ import (
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
 	"heteropart/internal/glinda"
-	"heteropart/internal/sched"
-	"heteropart/internal/task"
+	"heteropart/internal/plan"
 )
 
 // ConvertRatio implements the Discussion-section recipe for making an
@@ -46,10 +45,13 @@ func (DPConverted) Applicable(cls classify.Class, _ bool) bool {
 	return cls != classify.MKDAG
 }
 
-// Run implements Strategy.
-func (s DPConverted) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+// Plan implements Strategy.
+func (s DPConverted) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	if p.AtomicPhases {
 		return nil, fmt.Errorf("strategy: DP-Converted cannot partition atomic-phase %s", p.AppName)
+	}
+	if len(plat.Accels) == 0 {
+		return nil, fmt.Errorf("strategy: DP-Converted needs an accelerator")
 	}
 	// Step 1: the static ratio, from the fused model (multi-kernel)
 	// or the single kernel.
@@ -73,10 +75,11 @@ func (s DPConverted) Run(p *apps.Problem, plat *device.Platform, opts Options) (
 	_, l := ConvertRatio(dec.Beta, m)
 
 	// Step 3: pin the instance grid accordingly.
-	var plan task.Plan
-	for i, ph := range p.Phases {
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
 		n := ph.Kernel.Size
 		chunk := (n + int64(m) - 1) / int64(m)
+		var chs []plan.Chunk
 		ci := 0
 		for at := int64(0); at < n; at += chunk {
 			end := at + chunk
@@ -87,20 +90,17 @@ func (s DPConverted) Run(p *apps.Problem, plat *device.Platform, opts Options) (
 			if ci < l {
 				pin = 1
 			}
-			plan.Submit(ph.Kernel, at, end, pin, ci)
+			chs = append(chs, plan.Chunk{Lo: at, Hi: end, Pin: pin, Chain: ci})
 			ci++
 		}
-		if ph.SyncAfter && i < len(p.Phases)-1 {
-			plan.Barrier()
-		}
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: n, Sync: ph.SyncAfter, Chunks: chs,
+		})
 	}
-	plan.Barrier()
+	return newPlan(s.Name(), p, plat, staticSpec, phases, map[string]glinda.Decision{"": dec}), nil
+}
 
-	out, err := execute(s.Name(), p, plat, sched.NewStatic(), &plan, opts)
-	if err != nil {
-		return nil, err
-	}
-	out.Decisions = map[string]glinda.Decision{"": dec}
-	recordDecisions(opts, out)
-	return out, nil
+// Run implements Strategy.
+func (s DPConverted) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return runPlanned(s, p, plat, opts)
 }

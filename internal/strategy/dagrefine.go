@@ -6,7 +6,7 @@ import (
 	"heteropart/internal/apps"
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
-	"heteropart/internal/rt"
+	"heteropart/internal/plan"
 	"heteropart/internal/sched"
 	"heteropart/internal/task"
 )
@@ -34,8 +34,9 @@ func (DPRefinedDAG) Applicable(cls classify.Class, _ bool) bool {
 	return cls == classify.MKDAG
 }
 
-// Run implements Strategy.
-func (s DPRefinedDAG) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+// Plan implements Strategy. DAG phases order through the dependency
+// graph, so the plan carries no intermediate barriers.
+func (s DPRefinedDAG) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	if !p.AtomicPhases {
 		return nil, fmt.Errorf("strategy: DP-Refined targets atomic-phase DAG problems, %s is chunkable", p.AppName)
 	}
@@ -44,27 +45,26 @@ func (s DPRefinedDAG) Run(p *apps.Problem, plat *device.Platform, opts Options) 
 			return nil, fmt.Errorf("strategy: kernel %q pinned to unknown device %d", k, dev)
 		}
 	}
-	buildPlan := func() *task.Plan {
-		var plan task.Plan
-		for _, ph := range p.Phases {
-			pin := task.Unpinned
-			if dev, ok := s.Pins[ph.Kernel.Name]; ok {
-				pin = dev
-			}
-			plan.Submit(ph.Kernel, 0, ph.Kernel.Size, pin, -1)
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
+		pin := task.Unpinned
+		if dev, ok := s.Pins[ph.Kernel.Name]; ok {
+			pin = dev
 		}
-		plan.Barrier()
-		return &plan
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size,
+			Chunks: []plan.Chunk{{Lo: 0, Hi: ph.Kernel.Size, Pin: pin, Chain: -1}},
+		})
 	}
+	spec := plan.SchedulerSpec{
+		Policy:          plan.PolicyPerf,
+		Seeded:          !opts.NoSeed,
+		WarmupInstances: sched.WarmupInstances,
+	}
+	return newPlan(s.Name(), p, plat, spec, phases, nil), nil
+}
 
-	perf := sched.NewPerf()
-	if !opts.NoSeed {
-		trainer := sched.NewPerf()
-		if _, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer}, buildPlan(), p.Dir); err != nil {
-			return nil, err
-		}
-		p.Dir.Reset()
-		perf.Seed(trainer.Snapshot())
-	}
-	return execute(s.Name(), p, plat, perf, buildPlan(), opts)
+// Run implements Strategy.
+func (s DPRefinedDAG) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return runPlanned(s, p, plat, opts)
 }

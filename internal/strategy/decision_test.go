@@ -29,7 +29,8 @@ func lopsidedPlatform(gpuHopeless bool) *device.Platform {
 	} else {
 		cpu.PeakSPGFLOPS, cpu.PeakDPGFLOPS = 0.5, 0.5
 	}
-	return device.NewPlatform(cpu, 4, device.Attachment{Model: gpu, Link: link})
+	p, _ := device.NewPlatform(cpu, 4, device.Attachment{Model: gpu, Link: link})
+	return p
 }
 
 func TestSPSingleOnlyCPUDecision(t *testing.T) {

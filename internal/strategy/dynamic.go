@@ -4,7 +4,7 @@ import (
 	"heteropart/internal/apps"
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
-	"heteropart/internal/rt"
+	"heteropart/internal/plan"
 	"heteropart/internal/sched"
 )
 
@@ -19,10 +19,15 @@ func (DPDep) Name() string { return "DP-Dep" }
 // Applicable implements Strategy: all classes.
 func (DPDep) Applicable(classify.Class, bool) bool { return true }
 
+// Plan implements Strategy.
+func (s DPDep) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
+	phases := dynamicPhases(p, opts.chunks(plat))
+	return newPlan(s.Name(), p, plat, plan.SchedulerSpec{Policy: plan.PolicyDep}, phases, nil), nil
+}
+
 // Run implements Strategy.
 func (s DPDep) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
-	plan := dynamicPhasePlan(p, opts.chunks(plat))
-	return execute(s.Name(), p, plat, sched.NewDep(), plan, opts)
+	return runPlanned(s, p, plat, opts)
 }
 
 // DPPerf is the DP-Perf strategy: dynamic partitioning with the
@@ -30,10 +35,11 @@ func (s DPDep) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outco
 //
 // The paper's measurements exclude DP-Perf's fixed profiling phase
 // ("each device gets 3 task instances to make the runtime learn",
-// Section IV-A3). Run reproduces that by default: a training execution
-// (timing-only, discarded) learns the per-kernel per-device rates,
-// then the measured run starts from the trained profile. Options.NoSeed
-// keeps the profiling phase inside the measurement instead.
+// Section IV-A3). The plan records that as Scheduler.Seeded: Execute
+// runs a training execution (timing-only, discarded) to learn the
+// per-kernel per-device rates, then the measured run starts from the
+// trained profile. Options.NoSeed keeps the profiling phase inside the
+// measurement instead.
 type DPPerf struct{}
 
 // Name implements Strategy.
@@ -42,19 +48,18 @@ func (DPPerf) Name() string { return "DP-Perf" }
 // Applicable implements Strategy: all classes.
 func (DPPerf) Applicable(classify.Class, bool) bool { return true }
 
+// Plan implements Strategy.
+func (s DPPerf) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
+	phases := dynamicPhases(p, opts.chunks(plat))
+	spec := plan.SchedulerSpec{
+		Policy:          plan.PolicyPerf,
+		Seeded:          !opts.NoSeed,
+		WarmupInstances: sched.WarmupInstances,
+	}
+	return newPlan(s.Name(), p, plat, spec, phases, nil), nil
+}
+
 // Run implements Strategy.
 func (s DPPerf) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
-	perf := sched.NewPerf()
-	if !opts.NoSeed {
-		trainer := sched.NewPerf()
-		trainPlan := dynamicPhasePlan(p, opts.chunks(plat))
-		_, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer}, trainPlan, p.Dir)
-		if err != nil {
-			return nil, err
-		}
-		p.Dir.Reset()
-		perf.Seed(trainer.Snapshot())
-	}
-	plan := dynamicPhasePlan(p, opts.chunks(plat))
-	return execute(s.Name(), p, plat, perf, plan, opts)
+	return runPlanned(s, p, plat, opts)
 }

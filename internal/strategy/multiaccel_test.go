@@ -8,10 +8,11 @@ import (
 )
 
 func triPlatform() *device.Platform {
-	return device.NewPlatform(device.XeonE5_2620(), 12,
+	p, _ := device.NewPlatform(device.XeonE5_2620(), 12,
 		device.Attachment{Model: device.TeslaK20m(), Link: device.PCIeGen2x16()},
 		device.Attachment{Model: device.XeonPhi5110P(), Link: device.PCIeGen3x16()},
 	)
+	return p
 }
 
 func TestSPSingleMultiAccelSplitsAcrossAll(t *testing.T) {

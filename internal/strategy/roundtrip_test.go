@@ -1,0 +1,85 @@
+package strategy
+
+import (
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/plan"
+)
+
+// TestPlanJSONRoundTripMatchesDirectRun is the decide/execute split's
+// acceptance matrix: for every compute-mode (application, strategy)
+// pair, deciding a plan, round-tripping it through JSON, and executing
+// the decoded plan must reproduce the direct Run exactly — same
+// makespan, same GPU ratio, same instance count, and the computed
+// buffers still verify against the sequential reference.
+func TestPlanJSONRoundTripMatchesDirectRun(t *testing.T) {
+	appNames := []string{"MatrixMul", "BlackScholes", "Nbody", "HotSpot",
+		"STREAM-Seq", "STREAM-Loop", "Cholesky", "Convolution", "Triangular"}
+	plat := device.PaperPlatform(0)
+	pairs := 0
+	for _, appName := range appNames {
+		for _, sync := range []apps.SyncMode{apps.SyncNone, apps.SyncForced} {
+			probe := smallProblem(t, appName, sync)
+			cls, needsSync := probe.Class(), probe.NeedsSync()
+			for _, s := range All() {
+				if !s.Applicable(cls, needsSync) {
+					continue
+				}
+				if probe.AtomicPhases && s.Name() == "DP-Converted" {
+					continue
+				}
+				pairs++
+				direct := smallProblem(t, appName, sync)
+				ref, err := s.Run(direct, plat, Options{Compute: true})
+				if err != nil {
+					t.Fatalf("%s/%s: direct run: %v", appName, s.Name(), err)
+				}
+				if err := direct.Verify(); err != nil {
+					t.Fatalf("%s/%s: direct run does not verify: %v", appName, s.Name(), err)
+				}
+
+				replay := smallProblem(t, appName, sync)
+				pl, err := s.Plan(replay, plat, Options{Compute: true})
+				if err != nil {
+					t.Fatalf("%s/%s: plan: %v", appName, s.Name(), err)
+				}
+				encoded, err := pl.JSON()
+				if err != nil {
+					t.Fatalf("%s/%s: encode: %v", appName, s.Name(), err)
+				}
+				decoded, err := plan.FromJSON(encoded)
+				if err != nil {
+					t.Fatalf("%s/%s: decode: %v", appName, s.Name(), err)
+				}
+				out, err := Execute(decoded, replay, plat, Options{Compute: true})
+				if err != nil {
+					t.Fatalf("%s/%s: execute decoded plan: %v", appName, s.Name(), err)
+				}
+				if err := replay.Verify(); err != nil {
+					t.Fatalf("%s/%s: replayed run does not verify: %v", appName, s.Name(), err)
+				}
+				if out.Result.Makespan != ref.Result.Makespan {
+					t.Errorf("%s/%s: replay makespan %v, direct %v",
+						appName, s.Name(), out.Result.Makespan, ref.Result.Makespan)
+				}
+				if out.GPURatio() != ref.GPURatio() {
+					t.Errorf("%s/%s: replay GPU ratio %v, direct %v",
+						appName, s.Name(), out.GPURatio(), ref.GPURatio())
+				}
+				if out.Result.Instances != ref.Result.Instances {
+					t.Errorf("%s/%s: replay instances %d, direct %d",
+						appName, s.Name(), out.Result.Instances, ref.Result.Instances)
+				}
+				if out.Strategy != ref.Strategy {
+					t.Errorf("%s/%s: replay strategy %q, direct %q",
+						appName, s.Name(), out.Strategy, ref.Strategy)
+				}
+			}
+		}
+	}
+	if pairs < 30 {
+		t.Fatalf("round-trip matrix too small: %d pairs", pairs)
+	}
+}

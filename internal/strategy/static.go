@@ -7,9 +7,12 @@ import (
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
 	"heteropart/internal/glinda"
-	"heteropart/internal/sched"
+	"heteropart/internal/plan"
 	"heteropart/internal/task"
 )
+
+// staticSpec is the scheduler of every fully pinned plan.
+var staticSpec = plan.SchedulerSpec{Policy: plan.PolicyStatic}
 
 // SPSingle is the SP-Single strategy: Glinda determines one static
 // partitioning for the (single) kernel; for SK-Loop the partitioning
@@ -24,33 +27,32 @@ func (SPSingle) Applicable(cls classify.Class, _ bool) bool {
 	return cls == classify.SKOne || cls == classify.SKLoop
 }
 
-// Run implements Strategy. On platforms with several accelerators the
+// Plan implements Strategy. On platforms with several accelerators the
 // partitioning generalizes to Glinda's water-filling split (the
 // "one or more accelerators, identical or non-identical" claim of
-// Section II-A): each accelerator receives a contiguous share, the
-// host takes the rest.
-func (s SPSingle) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+// Section II-A); on imbalanced iteration spaces it switches to the
+// weighted pipeline (Glinda ICS'14).
+func (s SPSingle) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	if len(p.Unique) != 1 {
 		return nil, fmt.Errorf("strategy: SP-Single needs a single kernel, %s has %d", p.AppName, len(p.Unique))
 	}
 	if len(plat.Accels) > 1 {
-		return s.runMulti(p, plat, opts)
+		return s.planMulti(p, plat, opts)
 	}
 	if ratio := glinda.ImbalanceRatio(p.Unique[0], imbalanceSample(p.Unique[0])); ratio > ImbalanceThreshold {
-		return s.runImbalanced(p, plat, opts)
+		return s.planImbalanced(p, plat, opts)
 	}
 	dec, err := glinda.Analyze(plat, p.Dir, p.Unique[0], 1, opts.glindaCfg())
 	if err != nil {
 		return nil, err
 	}
-	plan := staticPhasePlan(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
-	out, err := execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
-	if err != nil {
-		return nil, err
-	}
-	out.Decisions = map[string]glinda.Decision{"": dec}
-	recordDecisions(opts, out)
-	return out, nil
+	phases := staticPhases(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
+	return newPlan(s.Name(), p, plat, staticSpec, phases, map[string]glinda.Decision{"": dec}), nil
+}
+
+// Run implements Strategy.
+func (s SPSingle) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return runPlanned(s, p, plat, opts)
 }
 
 // ImbalanceThreshold is the head/tail per-element cost ratio above
@@ -65,49 +67,44 @@ func imbalanceSample(k *task.Kernel) int64 {
 	return s
 }
 
-// runImbalanced partitions an imbalanced single kernel: the
+// planImbalanced partitions an imbalanced single kernel: the
 // accelerator takes the weight-balanced prefix, and the host range is
 // cut into m weight-equal chunks so every worker thread finishes
 // together (the ICS'14 "matching imbalanced workloads" pipeline).
-func (s SPSingle) runImbalanced(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+func (s SPSingle) planImbalanced(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	k := p.Unique[0]
 	dec, err := glinda.AnalyzeImbalanced(plat, p.Dir, k, 1, opts.glindaCfg())
 	if err != nil {
 		return nil, err
 	}
 	m := opts.chunks(plat)
-	var plan task.Plan
-	for i, ph := range p.Phases {
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
+		var chs []plan.Chunk
 		if dec.Split > 0 {
-			plan.Submit(ph.Kernel, 0, dec.Split, 1, -1)
+			chs = append(chs, plan.Chunk{Lo: 0, Hi: dec.Split, Pin: 1, Chain: -1})
 		}
 		ci := 0
 		for _, iv := range dec.CutWeighted(dec.Split, ph.Kernel.Size, m) {
-			plan.Submit(ph.Kernel, iv.Lo, iv.Hi, 0, ci)
+			chs = append(chs, plan.Chunk{Lo: iv.Lo, Hi: iv.Hi, Pin: 0, Chain: ci})
 			ci++
 		}
-		if ph.SyncAfter && i < len(p.Phases)-1 {
-			plan.Barrier()
-		}
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size, Sync: ph.SyncAfter, Chunks: chs,
+		})
 	}
-	plan.Barrier()
-	out, err := execute(s.Name(), p, plat, sched.NewStatic(), &plan, opts)
-	if err != nil {
-		return nil, err
-	}
-	out.Decisions = map[string]glinda.Decision{"": {
+	decs := map[string]glinda.Decision{"": {
 		Config: glinda.Hybrid,
 		Beta:   dec.GPUWeightShare,
 		NG:     dec.Split,
 		NC:     k.Size - dec.Split,
 	}}
-	recordDecisions(opts, out)
-	return out, nil
+	return newPlan(s.Name(), p, plat, staticSpec, phases, decs), nil
 }
 
-// runMulti partitions a single kernel across every accelerator plus
+// planMulti partitions a single kernel across every accelerator plus
 // the host via the water-filling solver.
-func (s SPSingle) runMulti(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+func (s SPSingle) planMulti(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	k := p.Unique[0]
 	ests := make([]glinda.Estimate, len(plat.Accels))
 	var rc float64
@@ -132,23 +129,23 @@ func (s SPSingle) runMulti(p *apps.Problem, plat *device.Platform, opts Options)
 	shares[0] = k.Size - accelTotal
 
 	m := opts.chunks(plat)
-	var plan task.Plan
-	for i, ph := range p.Phases {
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
+		var chs []plan.Chunk
 		at := int64(0)
 		for a := range plat.Accels {
 			hi := at + shares[a+1]
 			if hi > at {
-				plan.Submit(ph.Kernel, at, hi, a+1, -1)
+				chs = append(chs, plan.Chunk{Lo: at, Hi: hi, Pin: a + 1, Chain: -1})
 			}
 			at = hi
 		}
-		splitHost(&plan, ph.Kernel, at, ph.Kernel.Size, m)
-		if ph.SyncAfter && i < len(p.Phases)-1 {
-			plan.Barrier()
-		}
+		chs = hostChunks(chs, at, ph.Kernel.Size, m)
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size, Sync: ph.SyncAfter, Chunks: chs,
+		})
 	}
-	plan.Barrier()
-	return execute(s.Name(), p, plat, sched.NewStatic(), &plan, opts)
+	return newPlan(s.Name(), p, plat, staticSpec, phases, nil), nil
 }
 
 // SPUnified is the SP-Unified strategy for MK-Seq and MK-Loop: all
@@ -168,10 +165,13 @@ func (SPUnified) Applicable(cls classify.Class, _ bool) bool {
 	return cls == classify.MKSeq || cls == classify.MKLoop
 }
 
-// Run implements Strategy.
-func (s SPUnified) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+// Plan implements Strategy.
+func (s SPUnified) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	if p.AtomicPhases {
 		return nil, fmt.Errorf("strategy: SP-Unified cannot partition atomic-phase %s", p.AppName)
+	}
+	if len(plat.Accels) == 0 {
+		return nil, fmt.Errorf("strategy: SP-Unified needs an accelerator")
 	}
 	est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.glindaCfg())
 	if err != nil {
@@ -187,14 +187,13 @@ func (s SPUnified) Run(p *apps.Problem, plat *device.Platform, opts Options) (*O
 		est.OutSlope, est.OutConst = 0, 0
 	}
 	dec := glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.glindaCfg())
-	plan := staticPhasePlan(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
-	out, err := execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
-	if err != nil {
-		return nil, err
-	}
-	out.Decisions = map[string]glinda.Decision{"": dec}
-	recordDecisions(opts, out)
-	return out, nil
+	phases := staticPhases(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
+	return newPlan(s.Name(), p, plat, staticSpec, phases, map[string]glinda.Decision{"": dec}), nil
+}
+
+// Run implements Strategy.
+func (s SPUnified) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return runPlanned(s, p, plat, opts)
 }
 
 // SPVaried is the SP-Varied strategy for MK-Seq and MK-Loop: Glinda
@@ -213,8 +212,8 @@ func (SPVaried) Applicable(cls classify.Class, _ bool) bool {
 	return cls == classify.MKSeq || cls == classify.MKLoop
 }
 
-// Run implements Strategy.
-func (s SPVaried) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+// Plan implements Strategy.
+func (s SPVaried) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	if p.AtomicPhases {
 		return nil, fmt.Errorf("strategy: SP-Varied cannot partition atomic-phase %s", p.AppName)
 	}
@@ -227,16 +226,15 @@ func (s SPVaried) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Ou
 		decs[k.Name] = dec
 	}
 	force := true
-	plan := staticPhasePlan(p, func(ph apps.Phase) int64 {
+	phases := staticPhases(p, func(ph apps.Phase) int64 {
 		return decs[ph.Kernel.Name].NG
 	}, opts.chunks(plat), &force)
-	out, err := execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
-	if err != nil {
-		return nil, err
-	}
-	out.Decisions = decs
-	recordDecisions(opts, out)
-	return out, nil
+	return newPlan(s.Name(), p, plat, staticSpec, phases, decs), nil
+}
+
+// Run implements Strategy.
+func (s SPVaried) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return runPlanned(s, p, plat, opts)
 }
 
 // OnlyGPU runs the whole workload on the accelerator (the paper's
@@ -250,13 +248,18 @@ func (OnlyGPU) Name() string { return "Only-GPU" }
 // class.
 func (OnlyGPU) Applicable(classify.Class, bool) bool { return true }
 
-// Run implements Strategy.
-func (s OnlyGPU) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+// Plan implements Strategy.
+func (s OnlyGPU) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	if len(plat.Accels) == 0 {
 		return nil, fmt.Errorf("strategy: Only-GPU needs an accelerator")
 	}
-	plan := singleDevicePlan(p, 1, opts.chunks(plat))
-	return execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
+	phases := singleDevicePhases(p, 1, opts.chunks(plat))
+	return newPlan(s.Name(), p, plat, staticSpec, phases, nil), nil
+}
+
+// Run implements Strategy.
+func (s OnlyGPU) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return runPlanned(s, p, plat, opts)
 }
 
 // OnlyCPU runs the whole workload on the host's worker threads (the
@@ -270,8 +273,13 @@ func (OnlyCPU) Name() string { return "Only-CPU" }
 // class.
 func (OnlyCPU) Applicable(classify.Class, bool) bool { return true }
 
+// Plan implements Strategy.
+func (s OnlyCPU) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
+	phases := singleDevicePhases(p, 0, opts.chunks(plat))
+	return newPlan(s.Name(), p, plat, staticSpec, phases, nil), nil
+}
+
 // Run implements Strategy.
 func (s OnlyCPU) Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
-	plan := singleDevicePlan(p, 0, opts.chunks(plat))
-	return execute(s.Name(), p, plat, sched.NewStatic(), plan, opts)
+	return runPlanned(s, p, plat, opts)
 }

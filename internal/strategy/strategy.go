@@ -8,19 +8,23 @@
 //	DP-Dep      dynamic, breadth-first + dependency-chain affinity
 //	DP-Perf     dynamic, performance-aware earliest-finish
 //
-// A strategy turns a problem into an execution plan (instances with
-// pins or a scheduling policy) and runs it on the simulated platform,
-// including any profiling passes its definition requires.
+// Deciding and executing are split: Plan turns a problem into a
+// serializable plan.ExecutionPlan — running whatever Glinda profiling
+// the strategy's definition requires — and the shared Execute carries
+// any plan out on the simulated platform. Run composes the two.
 package strategy
 
 import (
 	"fmt"
+	"strings"
 
 	"heteropart/internal/apps"
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
 	"heteropart/internal/glinda"
 	"heteropart/internal/metrics"
+	"heteropart/internal/names"
+	"heteropart/internal/plan"
 	"heteropart/internal/rt"
 	"heteropart/internal/sched"
 	"heteropart/internal/task"
@@ -89,8 +93,16 @@ type Strategy interface {
 	// class (Table I). needsSync distinguishes the MK-Seq/MK-Loop
 	// sub-cases.
 	Applicable(cls classify.Class, needsSync bool) bool
-	// Run executes the problem end to end and returns the measured
-	// outcome. The problem's directory is left in its final state.
+	// Plan decides without executing: it runs whatever profiling the
+	// strategy requires (the problem's directory is reset afterwards,
+	// so planning leaves no footprint) and returns the full decision
+	// record. The plan is immutable and bound to the platform's
+	// fingerprint; Execute (or a JSON round trip and then Execute)
+	// carries it out.
+	Plan(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error)
+	// Run executes the problem end to end — Plan followed by Execute —
+	// and returns the measured outcome. The problem's directory is
+	// left in its final state.
 	Run(p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error)
 }
 
@@ -108,19 +120,117 @@ func Partitioning() []Strategy {
 	return []Strategy{SPSingle{}, SPUnified{}, SPVaried{}, DPPerf{}, DPDep{}}
 }
 
-// ByName finds a strategy.
+// ByName finds a strategy. Matching is case-insensitive; an unknown
+// name suggests the closest registered spelling when one is close.
 func ByName(name string) (Strategy, error) {
-	for _, s := range All() {
-		if s.Name() == name {
+	all := All()
+	for _, s := range all {
+		if strings.EqualFold(s.Name(), name) {
 			return s, nil
 		}
+	}
+	known := make([]string, len(all))
+	for i, s := range all {
+		known[i] = s.Name()
+	}
+	if sug := names.Closest(name, known); sug != "" {
+		return nil, fmt.Errorf("strategy: unknown strategy %q (did you mean %q?)", name, sug)
 	}
 	return nil, fmt.Errorf("strategy: unknown strategy %q", name)
 }
 
-// execute runs a plan and wraps the outcome.
+// Execute carries out a decided plan on the platform: it validates the
+// plan (including the platform fingerprint), materializes the task
+// instances, builds the named scheduler — running the training pass
+// first for seeded perf plans — and measures the execution. Replaying
+// a plan reproduces the run that decided it exactly: the simulator is
+// deterministic and the plan pins the whole decision surface.
+func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if pl == nil {
+		return nil, fmt.Errorf("strategy: nil plan")
+	}
+	if err := pl.CheckPlatform(plat); err != nil {
+		return nil, err
+	}
+	tp, err := pl.Materialize(p)
+	if err != nil {
+		return nil, err
+	}
+	var s sched.Scheduler
+	switch pl.Scheduler.Policy {
+	case plan.PolicyStatic:
+		s = sched.NewStatic()
+	case plan.PolicyDep:
+		s = sched.NewDep()
+	case plan.PolicyPerf:
+		perf := sched.NewPerf()
+		if pl.Scheduler.Seeded {
+			// The excluded profiling phase (Section IV-A3): a training
+			// execution on a fresh materialization learns the rates,
+			// the directory is reset, and the measured run starts from
+			// the trained profile.
+			trainer := sched.NewPerf()
+			trainPlan, err := pl.Materialize(p)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer}, trainPlan, p.Dir); err != nil {
+				return nil, err
+			}
+			p.Dir.Reset()
+			perf.Seed(trainer.Snapshot())
+		}
+		s = perf
+	default:
+		// Materialize validated the policy already; defend anyway.
+		return nil, fmt.Errorf("strategy: plan names unknown scheduler policy %q", pl.Scheduler.Policy)
+	}
+	out, err := execute(pl.Strategy, p, plat, s, tp, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(pl.Decisions) > 0 {
+		out.Decisions = make(map[string]glinda.Decision, len(pl.Decisions))
+		for k, v := range pl.Decisions {
+			out.Decisions[k] = v
+		}
+		recordDecisions(opts, out)
+	}
+	return out, nil
+}
+
+// runPlanned is the shared Run body: decide, then execute.
+func runPlanned(s Strategy, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	pl, err := s.Plan(p, plat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(pl, p, plat, opts)
+}
+
+// newPlan assembles the plan envelope around decided phases.
+func newPlan(name string, p *apps.Problem, plat *device.Platform, spec plan.SchedulerSpec,
+	phases []plan.PhasePlan, decs map[string]glinda.Decision) *plan.ExecutionPlan {
+	return &plan.ExecutionPlan{
+		Version:   plan.Version,
+		App:       p.AppName,
+		Strategy:  name,
+		Class:     p.Class().String(),
+		NeedsSync: p.NeedsSync(),
+		Atomic:    p.AtomicPhases,
+		N:         p.N,
+		Iters:     p.Iters,
+		Devices:   1 + len(plat.Accels),
+		Platform:  plan.Fingerprint(plat),
+		Scheduler: spec,
+		Phases:    phases,
+		Decisions: decs,
+	}
+}
+
+// execute runs a materialized task plan and wraps the outcome.
 func execute(name string, p *apps.Problem, plat *device.Platform, s sched.Scheduler,
-	plan *task.Plan, opts Options) (*Outcome, error) {
+	tp *task.Plan, opts Options) (*Outcome, error) {
 	var tr *trace.Trace
 	if opts.CollectTrace {
 		tr = &trace.Trace{}
@@ -131,7 +241,7 @@ func execute(name string, p *apps.Problem, plat *device.Platform, s sched.Schedu
 		Trace:     tr,
 		Metrics:   opts.Metrics,
 		Compute:   opts.Compute,
-	}, plan, p.Dir)
+	}, tp, p.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("strategy %s on %s: %w", name, p.AppName, err)
 	}
@@ -187,11 +297,11 @@ func recordDecisions(opts Options, out *Outcome) {
 	}
 }
 
-// splitHost submits [lo,hi) of a kernel as m host-pinned chunks, using
-// the chunk index within the kernel as the dependency chain.
-func splitHost(plan *task.Plan, k *task.Kernel, lo, hi int64, m int) {
+// hostChunks appends [lo,hi) as m host-pinned chunks, using the chunk
+// index within the kernel as the dependency chain.
+func hostChunks(chs []plan.Chunk, lo, hi int64, m int) []plan.Chunk {
 	if hi <= lo {
-		return
+		return chs
 	}
 	total := hi - lo
 	chunk := (total + int64(m) - 1) / int64(m)
@@ -201,44 +311,46 @@ func splitHost(plan *task.Plan, k *task.Kernel, lo, hi int64, m int) {
 		if end > hi {
 			end = hi
 		}
-		plan.Submit(k, at, end, 0, ci)
+		chs = append(chs, plan.Chunk{Lo: at, Hi: end, Pin: 0, Chain: ci})
 		ci++
 	}
+	return chs
 }
 
-// staticPhasePlan builds a fully pinned plan: for every phase, the GPU
+// staticPhases decides a fully pinned plan: for every phase, the GPU
 // takes [0, ng) as one instance and the host takes [ng, n) in m
-// chunks. barrierAfter overrides the phase's own sync flag when
+// chunks. forceBarrier overrides the phase's own sync flag when
 // non-nil.
-func staticPhasePlan(p *apps.Problem, ngFor func(ph apps.Phase) int64, m int,
-	forceBarrier *bool) *task.Plan {
-	var plan task.Plan
-	for i, ph := range p.Phases {
+func staticPhases(p *apps.Problem, ngFor func(ph apps.Phase) int64, m int,
+	forceBarrier *bool) []plan.PhasePlan {
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
 		ng := ngFor(ph)
+		var chs []plan.Chunk
 		if ng > 0 {
-			plan.Submit(ph.Kernel, 0, ng, 1, -1)
+			chs = append(chs, plan.Chunk{Lo: 0, Hi: ng, Pin: 1, Chain: -1})
 		}
-		splitHost(&plan, ph.Kernel, ng, ph.Kernel.Size, m)
+		chs = hostChunks(chs, ng, ph.Kernel.Size, m)
 		sync := ph.SyncAfter
 		if forceBarrier != nil {
 			sync = *forceBarrier
 		}
-		if sync && i < len(p.Phases)-1 {
-			plan.Barrier()
-		}
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size, Sync: sync, Chunks: chs,
+		})
 	}
-	plan.Barrier() // final taskwait: results on the host
-	return &plan
+	return phases
 }
 
-// dynamicPhasePlan builds an unpinned plan: every phase split into m
+// dynamicPhases decides an unpinned plan: every phase split into m
 // chunks (or one atomic instance for DAG problems), chunk index as the
-// chain key, barriers per the problem's sync flags.
-func dynamicPhasePlan(p *apps.Problem, m int) *task.Plan {
-	var plan task.Plan
-	for i, ph := range p.Phases {
+// chain key, sync flags per the problem's taskwaits.
+func dynamicPhases(p *apps.Problem, m int) []plan.PhasePlan {
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
+		var chs []plan.Chunk
 		if p.AtomicPhases {
-			plan.Submit(ph.Kernel, 0, ph.Kernel.Size, task.Unpinned, -1)
+			chs = append(chs, plan.Chunk{Lo: 0, Hi: ph.Kernel.Size, Pin: task.Unpinned, Chain: -1})
 		} else {
 			n := ph.Kernel.Size
 			chunk := (n + int64(m) - 1) / int64(m)
@@ -248,33 +360,32 @@ func dynamicPhasePlan(p *apps.Problem, m int) *task.Plan {
 				if end > n {
 					end = n
 				}
-				plan.Submit(ph.Kernel, at, end, task.Unpinned, ci)
+				chs = append(chs, plan.Chunk{Lo: at, Hi: end, Pin: task.Unpinned, Chain: ci})
 				ci++
 			}
 		}
-		if ph.SyncAfter && i < len(p.Phases)-1 {
-			plan.Barrier()
-		}
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size, Sync: ph.SyncAfter, Chunks: chs,
+		})
 	}
-	plan.Barrier()
-	return &plan
+	return phases
 }
 
-// singleDevicePlan pins every phase whole to one device (Only-CPU uses
-// m host chunks so all worker threads participate, as the paper's
+// singleDevicePhases pins every phase whole to one device (Only-CPU
+// uses m host chunks so all worker threads participate, as the paper's
 // Only-CPU does).
-func singleDevicePlan(p *apps.Problem, dev, m int) *task.Plan {
-	var plan task.Plan
-	for i, ph := range p.Phases {
+func singleDevicePhases(p *apps.Problem, dev, m int) []plan.PhasePlan {
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
+		var chs []plan.Chunk
 		if dev == 0 && !p.AtomicPhases {
-			splitHost(&plan, ph.Kernel, 0, ph.Kernel.Size, m)
+			chs = hostChunks(chs, 0, ph.Kernel.Size, m)
 		} else {
-			plan.Submit(ph.Kernel, 0, ph.Kernel.Size, dev, -1)
+			chs = append(chs, plan.Chunk{Lo: 0, Hi: ph.Kernel.Size, Pin: dev, Chain: -1})
 		}
-		if ph.SyncAfter && i < len(p.Phases)-1 {
-			plan.Barrier()
-		}
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size, Sync: ph.SyncAfter, Chunks: chs,
+		})
 	}
-	plan.Barrier()
-	return &plan
+	return phases
 }

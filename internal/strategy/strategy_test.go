@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"heteropart/internal/apps"
-	"heteropart/internal/classify"
 	"heteropart/internal/device"
 )
 
@@ -67,38 +66,6 @@ func TestEveryApplicableStrategyComputesCorrectly(t *testing.T) {
 				if !p.Dir.HostWhole() {
 					t.Fatalf("%s / %s: host not whole after final taskwait", appName, s.Name())
 				}
-			}
-		}
-	}
-}
-
-func TestApplicabilityMatchesTableI(t *testing.T) {
-	type row struct {
-		cls  classify.Class
-		sync bool
-		want map[string]bool
-	}
-	rows := []row{
-		{classify.SKOne, false, map[string]bool{
-			"SP-Single": true, "SP-Unified": false, "SP-Varied": false,
-			"DP-Perf": true, "DP-Dep": true}},
-		{classify.SKLoop, true, map[string]bool{
-			"SP-Single": true, "SP-Unified": false, "SP-Varied": false,
-			"DP-Perf": true, "DP-Dep": true}},
-		{classify.MKSeq, false, map[string]bool{
-			"SP-Single": false, "SP-Unified": true, "SP-Varied": true,
-			"DP-Perf": true, "DP-Dep": true}},
-		{classify.MKLoop, true, map[string]bool{
-			"SP-Single": false, "SP-Unified": true, "SP-Varied": true,
-			"DP-Perf": true, "DP-Dep": true}},
-		{classify.MKDAG, false, map[string]bool{
-			"SP-Single": false, "SP-Unified": false, "SP-Varied": false,
-			"DP-Perf": true, "DP-Dep": true}},
-	}
-	for _, r := range rows {
-		for _, s := range Partitioning() {
-			if got := s.Applicable(r.cls, r.sync); got != r.want[s.Name()] {
-				t.Errorf("%s applicable to %v = %v, want %v", s.Name(), r.cls, got, r.want[s.Name()])
 			}
 		}
 	}

@@ -197,19 +197,32 @@ type Op struct {
 // Plan is the ordered program a strategy hands to the runtime:
 // submissions interleaved with taskwait barriers, exactly as the
 // OmpSs-annotated source would issue them.
+//
+// Submission faults are deferred: a bad chunk records the first error,
+// visible through Err, and the runtime refuses to execute a faulted
+// plan. This keeps the strategy builders' submit loops fluent.
 type Plan struct {
 	Name string
 	Ops  []Op
 
 	nextID int
+	err    error
 }
+
+// Err reports the first submission fault, or nil.
+func (p *Plan) Err() error { return p.err }
 
 // Submit appends a task instance for kernel k over [lo,hi), pinned to
 // device pin (or Unpinned), in dependency chain chain (or -1). It
-// returns the instance for further inspection.
+// returns the instance for further inspection. A chunk outside the
+// kernel's iteration space records a deferred error (see Err) and is
+// not appended; Submit then returns nil.
 func (p *Plan) Submit(k *Kernel, lo, hi int64, pin, chain int) *Instance {
 	if lo < 0 || hi > k.Size || hi < lo {
-		panic(fmt.Sprintf("task: chunk [%d,%d) outside kernel %q size %d", lo, hi, k.Name, k.Size))
+		if p.err == nil {
+			p.err = fmt.Errorf("task: chunk [%d,%d) outside kernel %q size %d", lo, hi, k.Name, k.Size)
+		}
+		return nil
 	}
 	in := &Instance{
 		ID:       p.nextID,

@@ -79,12 +79,15 @@ func TestPlanSubmitBounds(t *testing.T) {
 	if in2.ID != 1 || in2.Pin != 1 {
 		t.Fatalf("second instance = %+v", in2)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("out-of-bounds submit did not panic")
-		}
-	}()
-	p.Submit(k, 50, 200, Unpinned, 0)
+	if bad := p.Submit(k, 50, 200, Unpinned, 0); bad != nil {
+		t.Error("out-of-bounds submit returned an instance")
+	}
+	if p.Err() == nil {
+		t.Error("out-of-bounds submit did not record a plan error")
+	}
+	if len(p.Instances()) != 2 {
+		t.Errorf("faulted submit appended: %d instances", len(p.Instances()))
+	}
 }
 
 func TestPlanBarriersAndInstances(t *testing.T) {
