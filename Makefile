@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet lint race race-observe check experiments report examples clean
+.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean
 
 # Pinned staticcheck version; CI installs exactly this.
 STATICCHECK_VERSION = 2024.1.1
@@ -40,10 +40,17 @@ race-observe:
 	$(GO) test -race ./internal/metrics/... ./internal/trace/...
 
 # Everything a change must pass before merging.
-check: build vet lint test race
+check: build vet lint test race bench-report
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Smoke-scale benchmark regression report: runs the tier-1 suite once,
+# writes bench-out/BENCH_<date>.json and fails on >20% ns/op
+# regressions against the committed baseline (host mismatches are
+# advisory, so the gate is portable).
+bench-report:
+	$(GO) run ./cmd/benchreport -smoke -out bench-out -baseline BENCH_2026-08-08.json
 
 # Regenerate every paper table/figure with shape checks.
 experiments:

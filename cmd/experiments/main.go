@@ -33,6 +33,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", 1, "worker pool width for the sweep runner (1 = sequential; output is byte-identical either way)")
 		stats    = flag.Bool("stats", false, "print runner telemetry (runs, cache hits/misses, per-worker progress) to stderr")
+		serve    = flag.String("serve", "", "after the experiments finish, serve live telemetry (/metrics, /healthz, /debug/pprof) on this address")
 	)
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 
 	plat := heteropart.PaperPlatform(*m)
 	var reg *heteropart.Metrics
-	if *stats {
+	if *stats || *serve != "" {
 		reg = heteropart.NewMetrics()
 	}
 	env := heteropart.NewExpEnv(plat, *parallel, reg)
@@ -53,7 +54,8 @@ func main() {
 		doc, err := heteropart.MarkdownReportEnv(env)
 		fatal(err)
 		fmt.Print(doc)
-		printStats(reg)
+		printStats(reg, *stats)
+		serveTelemetry(reg, *serve)
 		return
 	}
 	exps := heteropart.Experiments()
@@ -94,7 +96,7 @@ func main() {
 			}
 		}
 	}
-	printStats(reg)
+	printStats(reg, *stats)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed their shape checks\n", failures)
 		os.Exit(1)
@@ -103,14 +105,26 @@ func main() {
 		fmt.Println(strings.Repeat("=", 60))
 		fmt.Printf("all %d experiments reproduce their paper claims\n", len(exps))
 	}
+	serveTelemetry(reg, *serve)
 }
 
-func printStats(reg *heteropart.Metrics) {
-	if reg == nil {
+func printStats(reg *heteropart.Metrics, show bool) {
+	if reg == nil || !show {
 		return
 	}
 	fmt.Fprintln(os.Stderr, "runner telemetry:")
 	fmt.Fprint(os.Stderr, reg.Text(0))
+}
+
+// serveTelemetry blocks on the live telemetry endpoint when -serve is
+// set; with it unset this is a no-op.
+func serveTelemetry(reg *heteropart.Metrics, addr string) {
+	if addr == "" {
+		return
+	}
+	srv := heteropart.NewTelemetryServer(heteropart.TelemetryConfig{Metrics: reg})
+	fmt.Fprintf(os.Stderr, "serving telemetry on %s (ctrl-c to stop)\n", addr)
+	fatal(srv.ListenAndServe(addr))
 }
 
 func fatal(err error) {

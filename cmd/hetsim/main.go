@@ -24,12 +24,23 @@
 //
 //	hetsim -app BlackScholes -strategy SP-Single -plan-out plan.json
 //	hetsim -plan-in plan.json
+//
+// Observability: -record-out saves the run as a flight-recorder
+// bundle (spec, resolved plan, platform fingerprint, metrics, span
+// tree, utilization), -record-diff compares two bundles, and -serve
+// exposes the live telemetry endpoint (/metrics, /healthz, /spans,
+// /runs, /debug/pprof) after the run completes:
+//
+//	hetsim -app HotSpot -strategy DP-Perf -record-out runs/
+//	hetsim -record-diff runs/a.json runs/b.json
+//	hetsim -app HotSpot -strategy DP-Perf -serve :8080
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,8 +67,19 @@ func main() {
 		sizes     = flag.String("sizes", "", "comma-separated problem sizes for -sweep (empty = the single -n)")
 		planOut   = flag.String("plan-out", "", "write the decided execution plan (JSON) to this file before running it")
 		planIn    = flag.String("plan-in", "", "execute a saved execution plan instead of deciding one (-app/-n/-iters default from the plan)")
+		serveAddr = flag.String("serve", "", "after the run, serve live telemetry (/metrics, /healthz, /spans, /runs, /debug/pprof) on this address")
+		recordOut = flag.String("record-out", "", "write a flight-recorder bundle of the run into this directory (implies trace, metrics and span collection)")
+		recordIn  = flag.String("record-diff", "", "compare this flight-recorder bundle against the one named by the next argument, then exit")
 	)
 	flag.Parse()
+	if *recordIn != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "hetsim: -record-diff needs exactly one more bundle path argument")
+			os.Exit(2)
+		}
+		diffBundles(*recordIn, flag.Arg(0))
+		return
+	}
 	if *traceFmt != "chrome" && *traceFmt != "csv" {
 		fatal(fmt.Errorf("unknown -trace-format %q (want chrome or csv)", *traceFmt))
 	}
@@ -99,7 +121,10 @@ func main() {
 
 	plat := heteropart.PaperPlatform(*m)
 	if *sweep {
-		runSweep(plat, sync, *appName, *stratName, *sizes, *n, *iters, *chunks, *compute, *parallel, *showMx)
+		if *recordOut != "" {
+			fatal(fmt.Errorf("-record-out records a single run and cannot combine with -sweep"))
+		}
+		runSweep(plat, sync, *appName, *stratName, *sizes, *n, *iters, *chunks, *compute, *parallel, *showMx, *serveAddr)
 		return
 	}
 	app, err := heteropart.AppByName(*appName)
@@ -107,14 +132,22 @@ func main() {
 	problem, err := app.Build(heteropart.Variant{N: *n, Iters: *iters, Sync: sync, Compute: *compute})
 	fatal(err)
 
+	// -record-out and -serve imply full observability: trace, metrics
+	// and span collection.
+	observe := *recordOut != "" || *serveAddr != ""
 	var reg *heteropart.Metrics
-	if *showMx {
+	if *showMx || observe {
 		reg = heteropart.NewMetrics()
+	}
+	var tracer *heteropart.SpanTracer
+	if observe {
+		tracer = heteropart.NewSpanTracer()
 	}
 	opts := heteropart.Options{
 		Chunks: *chunks, Compute: *compute,
-		CollectTrace: *showTrace || *traceOut != "",
+		CollectTrace: *showTrace || *traceOut != "" || observe,
 		Metrics:      reg,
+		Spans:        tracer,
 	}
 	pl := loaded
 	if pl == nil {
@@ -200,9 +233,47 @@ func main() {
 	if *planOut != "" {
 		fmt.Printf("plan written to %s\n", *planOut)
 	}
-	if reg != nil {
+	if *showMx {
 		fmt.Println("metrics:")
 		fmt.Print(reg.Text(out.Result.Makespan))
+	}
+
+	var bundle *heteropart.FlightBundle
+	if observe {
+		bundle, err = heteropart.RecordRun(*appName, out, pl, plat, reg, tracer)
+		fatal(err)
+	}
+	if *recordOut != "" {
+		fatal(os.MkdirAll(*recordOut, 0o755))
+		path := filepath.Join(*recordOut, fmt.Sprintf("%s_%s.json", *appName, out.Strategy))
+		fatal(bundle.WriteFile(path))
+		fmt.Printf("flight bundle written to %s\n", path)
+	}
+	if *serveAddr != "" {
+		srv := heteropart.NewTelemetryServer(heteropart.TelemetryConfig{
+			Metrics: reg, Spans: tracer,
+			Now: func() heteropart.Duration { return out.Result.Makespan },
+		})
+		srv.AddRun(bundle)
+		fmt.Printf("serving telemetry on %s (ctrl-c to stop)\n", *serveAddr)
+		fatal(srv.ListenAndServe(*serveAddr))
+	}
+}
+
+// diffBundles implements -record-diff: like diff(1), silent with exit
+// status 0 when the recordings match, one line per difference and exit
+// status 1 otherwise.
+func diffBundles(pathA, pathB string) {
+	a, err := heteropart.ParseBundleFile(pathA)
+	fatal(err)
+	b, err := heteropart.ParseBundleFile(pathB)
+	fatal(err)
+	diff := heteropart.DiffBundles(a, b)
+	for _, line := range diff {
+		fmt.Println(line)
+	}
+	if len(diff) > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -210,7 +281,7 @@ func main() {
 // runner and prints one row per run, in spec order.
 func runSweep(plat *heteropart.Platform, sync heteropart.SyncMode,
 	appName, stratCSV, sizesCSV string, n int64, iters, chunks int,
-	compute bool, parallel int, showMx bool) {
+	compute bool, parallel int, showMx bool, serveAddr string) {
 	var strats []string
 	if stratCSV == "" {
 		for _, s := range heteropart.Strategies() {
@@ -229,10 +300,14 @@ func runSweep(plat *heteropart.Platform, sync heteropart.SyncMode,
 		}
 	}
 	var reg *heteropart.Metrics
-	if showMx {
+	if showMx || serveAddr != "" {
 		reg = heteropart.NewMetrics()
 	}
-	r := heteropart.NewRunner(heteropart.RunnerConfig{Workers: parallel, Metrics: reg})
+	var tracer *heteropart.SpanTracer
+	if serveAddr != "" {
+		tracer = heteropart.NewSpanTracer()
+	}
+	r := heteropart.NewRunner(heteropart.RunnerConfig{Workers: parallel, Metrics: reg, Spans: tracer})
 	var specs []heteropart.RunSpec
 	for _, nn := range ns {
 		for _, s := range strats {
@@ -258,9 +333,14 @@ func runSweep(plat *heteropart.Platform, sync heteropart.SyncMode,
 			}
 		}
 	}
-	if reg != nil {
+	if showMx {
 		fmt.Println("metrics:")
 		fmt.Print(reg.Text(0))
+	}
+	if serveAddr != "" {
+		srv := heteropart.NewTelemetryServer(heteropart.TelemetryConfig{Metrics: reg, Spans: tracer})
+		fmt.Printf("serving telemetry on %s (ctrl-c to stop)\n", serveAddr)
+		fatal(srv.ListenAndServe(serveAddr))
 	}
 }
 

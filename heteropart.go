@@ -49,6 +49,9 @@ import (
 	"heteropart/internal/sim"
 	"heteropart/internal/strategy"
 	"heteropart/internal/task"
+	"heteropart/internal/telemetry"
+	"heteropart/internal/telemetry/flight"
+	"heteropart/internal/telemetry/serve"
 	"heteropart/internal/trace"
 )
 
@@ -309,6 +312,62 @@ func MarkdownReport(plat *Platform) (string, error) { return exp.MarkdownReport(
 
 // NewRunner builds a sweep runner.
 func NewRunner(cfg RunnerConfig) *Runner { return runner.New(cfg) }
+
+// Observability: hierarchical span tracing, flight-recorder bundles
+// and the live telemetry endpoint (DESIGN.md §8).
+type (
+	// SpanTracer records hierarchical execution spans (sweep → run →
+	// plan/execute → phase → chunk/transfer). Wire one through
+	// Options.Spans or RunnerConfig.Spans; a nil tracer everywhere
+	// means span tracing off at zero cost.
+	SpanTracer = telemetry.Tracer
+	// SpanID names one recorded span (0 = none).
+	SpanID = telemetry.SpanID
+	// Span is one recorded interval.
+	Span = telemetry.Span
+	// FlightBundle is a versioned flight-recorder bundle: spec, resolved
+	// plan, platform fingerprint, metrics snapshot, span tree and
+	// utilization table of one run.
+	FlightBundle = flight.Bundle
+	// TelemetryServer serves /metrics, /healthz, /spans, /runs and
+	// /debug/pprof on a private mux.
+	TelemetryServer = serve.Server
+	// TelemetryConfig parameterizes a TelemetryServer.
+	TelemetryConfig = serve.Config
+)
+
+// NewSpanTracer returns an empty span tracer.
+func NewSpanTracer() *SpanTracer { return telemetry.New() }
+
+// NewTelemetryServer builds the live telemetry HTTP surface.
+func NewTelemetryServer(cfg TelemetryConfig) *TelemetryServer { return serve.New(cfg) }
+
+// PlatformFingerprint renders a platform's identity — the same string
+// that gates ExecutionPlan replay and keys cached results.
+func PlatformFingerprint(p *Platform) string { return plan.Fingerprint(p) }
+
+// RecordRun assembles a flight-recorder bundle from one executed run.
+// reg, tr and the outcome's trace may each be nil; the bundle records
+// whatever the run collected.
+func RecordRun(appName string, out *Outcome, pl *ExecutionPlan, plat *Platform,
+	reg *Metrics, tr *SpanTracer) (*FlightBundle, error) {
+	makespan := out.Result.Makespan
+	var snap *MetricsSnapshot
+	if reg != nil {
+		s := reg.Snapshot(makespan)
+		snap = &s
+	}
+	return flight.Record(appName, out.Strategy, appName+"/"+out.Strategy,
+		plan.Fingerprint(plat), int64(makespan), pl, snap, tr,
+		out.Trace.Utilization(makespan))
+}
+
+// ParseBundleFile reads a recorded flight bundle.
+func ParseBundleFile(path string) (*FlightBundle, error) { return flight.ParseFile(path) }
+
+// DiffBundles compares two recordings section by section; identical
+// runs (including any bundle against itself) diff to nothing.
+func DiffBundles(a, b *FlightBundle) []string { return flight.Diff(a, b) }
 
 // NewExpEnv builds an experiment environment whose internal sweeps
 // shard over a pool of the given width (workers <= 1 is sequential).

@@ -35,6 +35,7 @@ import (
 	"heteropart/internal/rt"
 	"heteropart/internal/sched"
 	"heteropart/internal/task"
+	"heteropart/internal/telemetry"
 )
 
 // Config tunes profiling and decision thresholds.
@@ -52,6 +53,12 @@ type Config struct {
 	// Metrics, when non-nil, receives per-kernel profiling gauges
 	// (probe throughputs, effective bandwidth, probe counts).
 	Metrics *metrics.Registry
+	// Spans, when non-nil, receives one profile span per profiling
+	// pass, parented under SpanParent.
+	Spans *telemetry.Tracer
+	// SpanParent is the span profiling spans attach to (normally the
+	// strategy's plan span).
+	SpanParent telemetry.SpanID
 }
 
 // Defaults fills zero fields with default values.
@@ -278,6 +285,8 @@ func Profile(plat *device.Platform, dir *mem.Directory, k *task.Kernel, accelID 
 	if accelID < 1 || accelID > len(plat.Accels) {
 		return Estimate{}, fmt.Errorf("glinda: no accelerator %d", accelID)
 	}
+	span := cfg.Spans.Begin(cfg.SpanParent, telemetry.KindProfile, "profile "+k.Name)
+	defer cfg.Spans.End(span)
 	n := k.Size
 	s := int64(cfg.SampleFrac * float64(n))
 	if s < cfg.MinSample {

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"testing"
+
+	"heteropart/internal/sim"
+)
+
+// TestGoldenExposition pins the full exposition of a representative
+// registry byte for byte: ordering, HELP/TYPE placement, histogram
+// derived series and escaping. Any format drift fails loudly here
+// before it breaks scrapers or the flight recorder.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "completed runs").Add(3)
+	r.Gauge("makespan_ratio", "achieved / oracle makespan").Set(1.25)
+	h := r.Histogram("chunk_ns", "chunk service time")
+	h.Observe(10)
+	h.Observe(100)
+	h.Observe(1000)
+	r.Counter(Label("elems_total", "dev", "0"), "elements per device").Add(7)
+	r.Counter(Label("elems_total", "dev", "1")).Add(9)
+
+	const want = `# TYPE heteropart_virtual_time_ns gauge
+heteropart_virtual_time_ns 42
+# HELP chunk_ns chunk service time
+# TYPE chunk_ns histogram
+chunk_ns_count 3
+chunk_ns_sum 1110
+chunk_ns_max 1000
+chunk_ns_p50 127
+chunk_ns_p95 1000
+chunk_ns_p99 1000
+# HELP elems_total elements per device
+# TYPE elems_total counter
+elems_total{dev="0"} 7
+elems_total{dev="1"} 9
+# HELP makespan_ratio achieved / oracle makespan
+# TYPE makespan_ratio gauge
+makespan_ratio 1.25
+# HELP runs_total completed runs
+# TYPE runs_total counter
+runs_total 3
+`
+	got := r.Text(sim.Time(42))
+	if got != want {
+		t.Fatalf("exposition drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -58,6 +58,27 @@ func (t Type) String() string {
 	}
 }
 
+// MarshalJSON renders the type name, keeping serialized snapshots
+// (flight-recorder bundles) self-describing.
+func (t Type) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a type name.
+func (t *Type) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"counter"`:
+		*t = CounterType
+	case `"gauge"`:
+		*t = GaugeType
+	case `"histogram"`:
+		*t = HistogramType
+	default:
+		return fmt.Errorf("metrics: unknown instrument type %s", data)
+	}
+	return nil
+}
+
 // Counter is a monotonically increasing integer sum. The zero value is
 // ready; a nil *Counter discards updates.
 type Counter struct {
@@ -195,6 +216,62 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum()) / float64(n)
 }
 
+// BucketCounts returns a copy of the per-bucket observation counts,
+// bucket i holding values in [2^i, 2^(i+1)). Safe on nil (zeroes).
+func (h *Histogram) BucketCounts() [HistBuckets]int64 {
+	var out [HistBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i+1) - 1
+}
+
+// Quantile returns an approximate q-quantile (0 < q <= 1) of the
+// observed distribution. The estimate is the upper bound of the log2
+// bucket holding the rank-⌈q·n⌉ observation, clamped to the true
+// maximum — so it never exceeds any observed value's bucket ceiling,
+// is exact for the tail (p100 == Max), and is deterministic for a
+// given set of observations. Safe on nil (0); 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	max := h.Max()
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if ub := BucketUpper(i); ub < max {
+				return ub
+			}
+			return max
+		}
+	}
+	return max
+}
+
 // instrument is one registered series.
 type instrument struct {
 	name string
@@ -291,10 +368,18 @@ func first(s []string) string {
 	return ""
 }
 
+// helpEscaper escapes HELP text per the Prometheus exposition format.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// labelEscaper escapes label values per the Prometheus exposition
+// format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // Label renders a labeled series name: Label("x_total", "dev", "1")
-// is `x_total{dev="1"}`. Use at registration time only — it allocates.
+// is `x_total{dev="1"}`. Values are escaped for the exposition format.
+// Use at registration time only — it allocates.
 func Label(name, key, value string) string {
-	return name + "{" + key + "=\"" + value + "\"}"
+	return name + "{" + key + "=\"" + labelEscaper.Replace(value) + "\"}"
 }
 
 // Labels renders a series name with several key="value" pairs, given
@@ -312,7 +397,7 @@ func Labels(name string, kv ...string) string {
 		}
 		b.WriteString(kv[i])
 		b.WriteString("=\"")
-		b.WriteString(kv[i+1])
+		b.WriteString(labelEscaper.Replace(kv[i+1]))
 		b.WriteString("\"")
 	}
 	b.WriteByte('}')
@@ -326,11 +411,15 @@ type Point struct {
 	Help string
 	// Value carries the counter sum or gauge value.
 	Value float64
-	// Count, Sum, Max and Mean are set for histograms.
+	// Count, Sum, Max, Mean and the approximate quantiles are set for
+	// histograms.
 	Count int64
 	Sum   int64
 	Max   int64
 	Mean  float64
+	P50   int64
+	P95   int64
+	P99   int64
 }
 
 // Snapshot is a consistent view of every registered series at one
@@ -365,6 +454,9 @@ func (r *Registry) Snapshot(now sim.Time) Snapshot {
 			p.Sum = in.h.Sum()
 			p.Max = in.h.Max()
 			p.Mean = in.h.Mean()
+			p.P50 = in.h.Quantile(0.50)
+			p.P95 = in.h.Quantile(0.95)
+			p.P99 = in.h.Quantile(0.99)
 			p.Value = float64(p.Count)
 		}
 		s.Points = append(s.Points, p)
@@ -403,7 +495,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		base := baseName(p.Name)
 		if base != lastBase {
 			if p.Help != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", base, p.Help)
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, helpEscaper.Replace(p.Help))
 			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", base, p.Type)
 			lastBase = base
@@ -413,6 +505,9 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			fmt.Fprintf(&b, "%s_count %d\n", p.Name, p.Count)
 			fmt.Fprintf(&b, "%s_sum %d\n", p.Name, p.Sum)
 			fmt.Fprintf(&b, "%s_max %d\n", p.Name, p.Max)
+			fmt.Fprintf(&b, "%s_p50 %d\n", p.Name, p.P50)
+			fmt.Fprintf(&b, "%s_p95 %d\n", p.Name, p.P95)
+			fmt.Fprintf(&b, "%s_p99 %d\n", p.Name, p.P99)
 		default:
 			fmt.Fprintf(&b, "%s %s\n", p.Name, formatValue(p.Value))
 		}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"heteropart/internal/sim"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+
+	// 100 observations 1..100: p50 lands in bucket [32,64) → upper 63;
+	// p99 and p100 land in the bucket holding 100, clamped to Max.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 63 {
+		t.Fatalf("p50 = %d, want 63 (upper bound of [32,64))", got)
+	}
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("p99 = %d, want 100 (bucket ceiling clamped to max)", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Fatalf("p100 = %d, want max 100", got)
+	}
+	// Quantile estimates never exceed the true maximum and never
+	// under-run the bucket of the true rank value.
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		est := h.Quantile(q)
+		exact := int64(math.Ceil(q * 100))
+		if est > 100 {
+			t.Fatalf("q=%v estimate %d exceeds max", q, est)
+		}
+		if est < exact {
+			t.Fatalf("q=%v estimate %d below exact value %d", q, est, exact)
+		}
+	}
+
+	// Single observation: every quantile is that value.
+	one := &Histogram{}
+	one.Observe(42)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := one.Quantile(q); got != 42 {
+			t.Fatalf("single-obs q=%v = %d, want 42", q, got)
+		}
+	}
+}
+
+func TestBucketCountsAndUpper(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1)  // bucket 0
+	h.Observe(2)  // bucket 1
+	h.Observe(3)  // bucket 1
+	h.Observe(64) // bucket 6
+	bc := h.BucketCounts()
+	if bc[0] != 1 || bc[1] != 2 || bc[6] != 1 {
+		t.Fatalf("bucket counts wrong: %v", bc[:8])
+	}
+	if BucketUpper(0) != 1 || BucketUpper(1) != 3 || BucketUpper(6) != 127 {
+		t.Fatalf("bucket uppers wrong: %d %d %d", BucketUpper(0), BucketUpper(1), BucketUpper(6))
+	}
+	if BucketUpper(HistBuckets-1) != math.MaxInt64 {
+		t.Fatal("last bucket must be unbounded")
+	}
+	var nilH *Histogram
+	if nilH.BucketCounts() != [HistBuckets]int64{} {
+		t.Fatal("nil BucketCounts must be zeroed")
+	}
+}
+
+// TestSnapshotDeterministicOrder registers series in a scrambled order
+// and checks both the snapshot and the text exposition iterate sorted,
+// identically across repeated captures.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"zeta_total", "alpha_total", "mid_ns", "beta_ratio"}
+	r.Counter(names[0]).Inc()
+	r.Counter(names[1]).Inc()
+	r.Histogram(names[2]).Observe(5)
+	r.Gauge(names[3]).Set(0.5)
+
+	s1 := r.Snapshot(sim.Time(7))
+	if !sort.SliceIsSorted(s1.Points, func(i, j int) bool { return s1.Points[i].Name < s1.Points[j].Name }) {
+		t.Fatalf("snapshot points not sorted: %+v", s1.Points)
+	}
+	t1, t2 := r.Text(sim.Time(7)), r.Text(sim.Time(7))
+	if t1 != t2 {
+		t.Fatal("repeated expositions differ")
+	}
+}
+
+func TestExpositionQuantileLines(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	text := r.Text(0)
+	for _, want := range []string{"lat_ns_p50 63\n", "lat_ns_p95 100\n", "lat_ns_p99 100\n"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("esc_total", "path", `a\b"c`), "help with \\ and\nnewline").Inc()
+	text := r.Text(0)
+	if !strings.Contains(text, `esc_total{path="a\\b\"c"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `# HELP esc_total help with \\ and\nnewline`) {
+		t.Fatalf("HELP not escaped:\n%s", text)
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || line == "newline" {
+			t.Fatalf("unescaped newline broke line structure:\n%s", text)
+		}
+	}
+}

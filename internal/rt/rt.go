@@ -25,6 +25,7 @@ import (
 	"heteropart/internal/sched"
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
+	"heteropart/internal/telemetry"
 	"heteropart/internal/trace"
 )
 
@@ -38,6 +39,16 @@ type Config struct {
 	// telemetry (see rtMetrics for the series list). Nil keeps the
 	// task-execution hot path free of instrumentation cost.
 	Metrics *metrics.Registry
+	// Spans, when non-nil, receives hierarchical telemetry spans:
+	// phase, chunk-execute, transfer, decision and barrier spans, all
+	// parented under SpanParent. Nil keeps the hot path span-free.
+	Spans *telemetry.Tracer
+	// SpanParent is the span the execution's spans attach to (normally
+	// the strategy's execute span; 0 makes them roots).
+	SpanParent telemetry.SpanID
+	// SpanPhases optionally declares the plan's kernel phases so chunk
+	// spans nest under per-phase spans (see SpanPhase).
+	SpanPhases []SpanPhase
 	// Compute executes each kernel's real Go implementation at
 	// instance completion (tests); false runs timing-only (benches).
 	Compute bool
@@ -152,9 +163,10 @@ type engine struct {
 	opIdx       int
 	barrierWait bool
 
-	// mx is the metrics bundle; nil (the default) makes every
-	// instrumentation call a no-op.
+	// mx and sp are the metrics and span bundles; nil (the default)
+	// makes every instrumentation call a no-op.
 	mx *rtMetrics
+	sp *rtSpans
 
 	res *Result
 	err error
@@ -212,6 +224,12 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 	if cfg.Metrics != nil {
 		if ms, ok := cfg.Scheduler.(sched.MetricsSetter); ok {
 			ms.SetMetrics(cfg.Metrics)
+		}
+	}
+	e.sp = newRTSpans(cfg)
+	if cfg.Spans != nil {
+		if ss, ok := cfg.Scheduler.(sched.SpanSetter); ok {
+			ss.SetSpans(cfg.Spans, cfg.SpanParent)
 		}
 	}
 
@@ -293,6 +311,7 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 	}
 	e.res.Makespan = e.eng.Now()
 	e.mx.finish(e.eng, e.res)
+	e.sp.finish()
 	return e.res, nil
 }
 
@@ -413,6 +432,7 @@ func (e *engine) flushThen(cont func()) {
 			Device: -1, Label: "taskwait-flush",
 		})
 		e.mx.taskwaitDone(e.eng.Now() - start)
+		e.sp.barrier("taskwait-flush", start, e.eng.Now())
 		cont()
 	})
 }
@@ -516,6 +536,7 @@ func (e *engine) runTransfer(tr mem.Transfer, done func()) {
 				Device: accel, Label: tr.Buf.Name, Bytes: tr.Bytes(), ToDev: toDev,
 			})
 			e.mx.transferDone(toDev, tr.Bytes(), e.eng.Now()-startAt)
+			e.sp.transferDone(tr.Buf.Name, accel, toDev, tr.Bytes(), startAt, e.eng.Now())
 			done()
 			for _, s := range fl.subs {
 				s()
@@ -642,6 +663,7 @@ func (e *engine) start(in *task.Instance, d *device.Device) {
 				Kind: trace.Decision, Start: s, End: s + oh,
 				Device: d.ID, Label: in.String(),
 			})
+			e.sp.decision(in, d.ID, s, s+oh)
 			e.eng.After(oh, begin)
 			return
 		}
@@ -711,6 +733,7 @@ func (e *engine) complete(in *task.Instance, d *device.Device, startAt sim.Time,
 	e.res.InstancesByDevice[d.ID]++
 	e.res.DeviceBusy[d.ID] += dur
 	e.mx.taskDone(d.ID, in.Elems(), dur)
+	e.sp.chunkDone(in, d.ID, startAt, e.eng.Now())
 
 	// Report to the scheduler: dispatch-to-completion wall time on an
 	// accelerator (its transfers ride on its own pipeline), dedicated-

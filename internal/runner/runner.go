@@ -37,6 +37,7 @@ import (
 	"heteropart/internal/metrics"
 	"heteropart/internal/plan"
 	"heteropart/internal/strategy"
+	"heteropart/internal/telemetry"
 )
 
 // Result is the measured execution of one Spec.
@@ -67,6 +68,11 @@ type Config struct {
 	// host scheduling and are not deterministic across worker counts
 	// (see DESIGN.md §9).
 	Metrics *metrics.Registry
+	// Spans, when non-nil, receives hierarchical telemetry spans:
+	// one sweep span per RunAll, one run span per executed spec, and
+	// the strategy/runtime spans beneath them. Cache hits emit no run
+	// span (the cached execution already did).
+	Spans *telemetry.Tracer
 }
 
 // cacheEntry is one single-flight slot: the first requester executes,
@@ -102,6 +108,11 @@ type Runner struct {
 	runs, hits, misses   *metrics.Counter
 	planHits, planMisses *metrics.Counter
 	workerRuns           []*metrics.Counter
+
+	// spans is the runner's tracer; a sweep-span parent is threaded per
+	// call (the runner is shared across concurrent sweeps, so it never
+	// lives on the struct).
+	spans *telemetry.Tracer
 }
 
 // New builds a runner.
@@ -112,6 +123,7 @@ func New(cfg Config) *Runner {
 	r := &Runner{
 		workers: cfg.Workers,
 		sem:     make(chan int, cfg.Workers),
+		spans:   cfg.Spans,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		r.sem <- i
@@ -140,9 +152,12 @@ func New(cfg Config) *Runner {
 func (r *Runner) Workers() int { return r.workers }
 
 // Run executes (or recalls) one spec.
-func (r *Runner) Run(spec Spec) (*Result, error) {
+func (r *Runner) Run(spec Spec) (*Result, error) { return r.run(spec, 0) }
+
+// run is Run with a sweep-span parent threaded through.
+func (r *Runner) run(spec Spec, parent telemetry.SpanID) (*Result, error) {
 	if r.cache == nil {
-		return r.execute(spec)
+		return r.execute(spec, parent)
 	}
 	key := spec.Key()
 	r.mu.Lock()
@@ -156,7 +171,7 @@ func (r *Runner) Run(spec Spec) (*Result, error) {
 	r.cache[key] = e
 	r.mu.Unlock()
 	r.misses.Inc()
-	e.res, e.err = r.execute(spec)
+	e.res, e.err = r.execute(spec, parent)
 	close(e.done)
 	return e.res, e.err
 }
@@ -166,6 +181,8 @@ func (r *Runner) Run(spec Spec) (*Result, error) {
 // input position) is returned; the result slice still holds whatever
 // completed.
 func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
+	sweep := r.spans.Begin(0, telemetry.KindSweep, fmt.Sprintf("sweep %d specs", len(specs)))
+	defer r.spans.End(sweep)
 	results := make([]*Result, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -173,7 +190,7 @@ func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.Run(specs[i])
+			results[i], errs[i] = r.run(specs[i], sweep)
 		}(i)
 	}
 	wg.Wait()
@@ -189,9 +206,14 @@ func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
 // problem, directory, scheduler, engine, trace, metrics — is created
 // here and owned by this call; the platform and the app/strategy
 // registries are read-only.
-func (r *Runner) execute(spec Spec) (*Result, error) {
+func (r *Runner) execute(spec Spec, parent telemetry.SpanID) (*Result, error) {
 	worker := <-r.sem
 	defer func() { r.sem <- worker }()
+
+	runSpan := r.spans.Begin(parent, telemetry.KindRun, spec.String())
+	defer r.spans.End(runSpan)
+	r.spans.Annotate(runSpan, "app", spec.App)
+	r.spans.Annotate(runSpan, "n", strconv.FormatInt(spec.N, 10))
 
 	plat := spec.platform()
 	app, err := apps.ByName(spec.App)
@@ -216,6 +238,8 @@ func (r *Runner) execute(spec Spec) (*Result, error) {
 		Compute:      spec.Compute,
 		CollectTrace: spec.CollectTrace,
 		Metrics:      res.Metrics,
+		Spans:        r.spans,
+		SpanParent:   runSpan,
 	}
 	// Resolve the strategy first (for matchmade specs through the
 	// analyzer — Analyze is pure, so splitting it from the execution
@@ -234,6 +258,7 @@ func (r *Runner) execute(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.spans.Annotate(runSpan, "strategy", s.Name())
 	pl, err := r.planFor(spec, s, plat, p, opts)
 	if err != nil {
 		return nil, err
@@ -258,7 +283,13 @@ func (r *Runner) execute(spec Spec) (*Result, error) {
 func (r *Runner) planFor(spec Spec, s strategy.Strategy, plat *device.Platform,
 	p *apps.Problem, opts strategy.Options) (*plan.ExecutionPlan, error) {
 	if r.planCache == nil || spec.WithMetrics {
-		return s.Plan(p, plat, opts)
+		planSpan := r.spans.Begin(opts.SpanParent, telemetry.KindPlan, "plan "+s.Name())
+		if planSpan != 0 {
+			opts.SpanParent = planSpan
+		}
+		pl, err := s.Plan(p, plat, opts)
+		r.spans.End(planSpan)
+		return pl, err
 	}
 	key := spec.PlanKey(s.Name())
 	r.mu.Lock()
@@ -272,7 +303,7 @@ func (r *Runner) planFor(spec Spec, s strategy.Strategy, plat *device.Platform,
 	r.planCache[key] = e
 	r.mu.Unlock()
 	r.planMisses.Inc()
-	e.pl, e.err = r.decide(spec, s, plat)
+	e.pl, e.err = r.decide(spec, s, plat, opts.SpanParent)
 	close(e.done)
 	return e.pl, e.err
 }
@@ -282,7 +313,8 @@ func (r *Runner) planFor(spec Spec, s strategy.Strategy, plat *device.Platform,
 // virtual time whether or not kernels compute real data — so
 // compute-mode and trace-mode variants of a spec share the cached
 // plan, and planning here leaves the caller's problem untouched.
-func (r *Runner) decide(spec Spec, s strategy.Strategy, plat *device.Platform) (*plan.ExecutionPlan, error) {
+func (r *Runner) decide(spec Spec, s strategy.Strategy, plat *device.Platform,
+	parent telemetry.SpanID) (*plan.ExecutionPlan, error) {
 	app, err := apps.ByName(spec.App)
 	if err != nil {
 		return nil, err
@@ -294,5 +326,10 @@ func (r *Runner) decide(spec Spec, s strategy.Strategy, plat *device.Platform) (
 	if err != nil {
 		return nil, err
 	}
-	return s.Plan(p, plat, strategy.Options{Chunks: spec.Chunks, NoSeed: spec.NoSeed})
+	planSpan := r.spans.Begin(parent, telemetry.KindPlan, "plan "+s.Name())
+	defer r.spans.End(planSpan)
+	return s.Plan(p, plat, strategy.Options{
+		Chunks: spec.Chunks, NoSeed: spec.NoSeed,
+		Spans: r.spans, SpanParent: planSpan,
+	})
 }

@@ -1,0 +1,92 @@
+package runner
+
+import (
+	"testing"
+
+	"heteropart/internal/telemetry"
+)
+
+// TestSweepSpanTree drives an instrumented sweep end to end and checks
+// the span taxonomy comes out as DESIGN.md §8 promises: a sweep root,
+// run spans beneath it, plan and execute spans beneath each run, and
+// phase/chunk spans inside the executions.
+func TestSweepSpanTree(t *testing.T) {
+	tr := telemetry.New()
+	r := New(Config{Workers: 2, Spans: tr})
+	specs := []Spec{
+		{App: "BlackScholes", Strategy: "SP-Single", N: 1 << 12},
+		{App: "BlackScholes", Strategy: "DP-Perf", N: 1 << 12},
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	byKind := map[telemetry.Kind][]telemetry.Span{}
+	byID := map[telemetry.SpanID]telemetry.Span{}
+	for _, s := range spans {
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+		byID[s.ID] = s
+	}
+
+	if n := len(byKind[telemetry.KindSweep]); n != 1 {
+		t.Fatalf("got %d sweep spans, want 1", n)
+	}
+	sweep := byKind[telemetry.KindSweep][0]
+	if sweep.WallEnd == 0 {
+		t.Fatal("sweep span left open")
+	}
+	if n := len(byKind[telemetry.KindRun]); n != 2 {
+		t.Fatalf("got %d run spans, want 2", n)
+	}
+	for _, run := range byKind[telemetry.KindRun] {
+		if run.Parent != sweep.ID {
+			t.Fatalf("run span %v not under sweep", run)
+		}
+	}
+	for _, kind := range []telemetry.Kind{telemetry.KindPlan, telemetry.KindExecute,
+		telemetry.KindPhase, telemetry.KindChunk, telemetry.KindProfile} {
+		if len(byKind[kind]) == 0 {
+			t.Fatalf("no %v spans recorded", kind)
+		}
+	}
+	// DP-Perf contributes decide spans (decision overhead) and a
+	// warm-up span from the scheduler.
+	if len(byKind[telemetry.KindDecide]) == 0 {
+		t.Fatal("no decide spans from the dynamic strategy")
+	}
+	if len(byKind[telemetry.KindWarmup]) == 0 {
+		t.Fatal("no warmup span from DP-Perf")
+	}
+
+	// Every chunk span must reach the sweep root through its parents
+	// and carry a virtual interval.
+	for _, c := range byKind[telemetry.KindChunk] {
+		if !c.HasVirtual {
+			t.Fatalf("chunk span without virtual interval: %+v", c)
+		}
+		cur, hops := c, 0
+		for cur.Parent != 0 && hops < 10 {
+			cur = byID[cur.Parent]
+			hops++
+		}
+		if cur.ID != sweep.ID {
+			t.Fatalf("chunk span %d does not reach the sweep root (stopped at %d)", c.ID, cur.ID)
+		}
+	}
+	// Phase spans carry their virtual extent.
+	for _, p := range byKind[telemetry.KindPhase] {
+		if !p.HasVirtual && p.Name != "" {
+			t.Fatalf("phase span without virtual extent: %+v", p)
+		}
+	}
+}
+
+// TestRunWithoutSpansInert: a runner without a tracer must behave
+// identically and record nothing.
+func TestRunWithoutSpansInert(t *testing.T) {
+	r := New(Config{Workers: 1})
+	if _, err := r.Run(Spec{App: "BlackScholes", Strategy: "SP-Single", N: 1 << 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"heteropart/internal/metrics"
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
+	"heteropart/internal/telemetry"
 )
 
 // WarmupInstances is the fixed profiling phase of DP-Perf: each device
@@ -54,6 +55,15 @@ type Perf struct {
 	mWarmup   *metrics.Counter
 	mDeferred *metrics.Counter
 	mPredErr  *metrics.Histogram
+
+	// Span telemetry (nil-safe; bound by SetSpans): the warm-up span
+	// covers the profiling phase, from the first ready instance to the
+	// first rate-based placement.
+	spTr        *telemetry.Tracer
+	spParent    telemetry.SpanID
+	warmStart   sim.Time
+	warmStarted bool
+	warmDone    bool
 }
 
 // NewPerf returns a DP-Perf scheduler with the default decision
@@ -92,8 +102,18 @@ func (p *Perf) SetMetrics(r *metrics.Registry) {
 		"abs relative error of predicted vs measured instance span, percent")
 }
 
+// SetSpans implements SpanSetter: the policy emits a warmup span
+// covering its profiling phase.
+func (p *Perf) SetSpans(tr *telemetry.Tracer, parent telemetry.SpanID) {
+	p.spTr, p.spParent = tr, parent
+}
+
 // OnReady implements Scheduler: pick the earliest-finishing device.
 func (p *Perf) OnReady(in *task.Instance, v View) (int, bool) {
+	if !p.warmStarted {
+		p.warmStarted = true
+		p.warmStart = v.Now()
+	}
 	// Only devices whose kind implements the kernel are candidates
 	// (the OmpSs "implements" clause).
 	var devs []*device.Device
@@ -131,6 +151,13 @@ func (p *Perf) OnReady(in *task.Instance, v View) (int, bool) {
 			p.mDeferred.Inc()
 			return 0, false
 		}
+	}
+
+	// The profiling gate just passed for this instance: the first time
+	// that happens, the warm-up phase is over.
+	if !p.warmDone {
+		p.warmDone = true
+		p.spTr.Emit(p.spParent, telemetry.KindWarmup, "perf-warmup", p.warmStart, v.Now())
 	}
 
 	best, bestFinish := -1, sim.Time(0)

@@ -19,6 +19,7 @@ import (
 	"heteropart/internal/metrics"
 	"heteropart/internal/sim"
 	"heteropart/internal/task"
+	"heteropart/internal/telemetry"
 )
 
 // View gives policies read access to runtime state.
@@ -74,6 +75,15 @@ type Scheduler interface {
 // uninstrumented run pays nothing.
 type MetricsSetter interface {
 	SetMetrics(*metrics.Registry)
+}
+
+// SpanSetter is implemented by policies that emit telemetry spans
+// (e.g. DP-Perf's warm-up span). The runtime calls SetSpans once per
+// execution, before any scheduling hook, when span telemetry is
+// enabled; the tracer's methods are nil-safe, so policies record
+// unconditionally through it.
+type SpanSetter interface {
+	SetSpans(tr *telemetry.Tracer, parent telemetry.SpanID)
 }
 
 // DefaultDecisionOverhead models one OmpSs scheduling decision: queue

@@ -27,7 +27,9 @@ import (
 	"heteropart/internal/plan"
 	"heteropart/internal/rt"
 	"heteropart/internal/sched"
+	"heteropart/internal/sim"
 	"heteropart/internal/task"
+	"heteropart/internal/telemetry"
 	"heteropart/internal/trace"
 )
 
@@ -51,6 +53,14 @@ type Options struct {
 	// NoSeed disables DP-Perf's excluded training pass, exposing the
 	// raw profiling phase in the measurement.
 	NoSeed bool
+	// Spans, when non-nil, receives hierarchical telemetry spans: the
+	// strategy's plan and execute spans (decide-vs-execute cost is
+	// first-class), Glinda profile spans, and the runtime's phase /
+	// chunk / transfer / decision spans beneath them.
+	Spans *telemetry.Tracer
+	// SpanParent is the span the strategy's spans attach to (normally
+	// the runner's run span; 0 makes them roots).
+	SpanParent telemetry.SpanID
 }
 
 func (o Options) chunks(plat *device.Platform) int {
@@ -61,12 +71,17 @@ func (o Options) chunks(plat *device.Platform) int {
 }
 
 // glindaCfg returns the Glinda configuration with the strategy-level
-// metrics registry propagated, so one Options.Metrics instruments the
-// whole pipeline (profiling included) without extra wiring.
+// metrics registry and span tracer propagated, so one Options.Metrics
+// / Options.Spans instruments the whole pipeline (profiling included)
+// without extra wiring.
 func (o Options) glindaCfg() glinda.Config {
 	g := o.Glinda
 	if g.Metrics == nil {
 		g.Metrics = o.Metrics
+	}
+	if g.Spans == nil {
+		g.Spans = o.Spans
+		g.SpanParent = o.SpanParent
 	}
 	return g
 }
@@ -149,6 +164,8 @@ func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opt
 	if pl == nil {
 		return nil, fmt.Errorf("strategy: nil plan")
 	}
+	execSpan := opts.Spans.Begin(opts.SpanParent, telemetry.KindExecute, pl.Strategy)
+	defer opts.Spans.End(execSpan)
 	if err := pl.CheckPlatform(plat); err != nil {
 		return nil, err
 	}
@@ -170,13 +187,17 @@ func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opt
 			// the directory is reset, and the measured run starts from
 			// the trained profile.
 			trainer := sched.NewPerf()
+			trainSpan := opts.Spans.Begin(execSpan, telemetry.KindTrain, "perf-training")
 			trainPlan, err := pl.Materialize(p)
 			if err != nil {
+				opts.Spans.End(trainSpan)
 				return nil, err
 			}
 			if _, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer}, trainPlan, p.Dir); err != nil {
+				opts.Spans.End(trainSpan)
 				return nil, err
 			}
+			opts.Spans.End(trainSpan)
 			p.Dir.Reset()
 			perf.Seed(trainer.Snapshot())
 		}
@@ -185,10 +206,16 @@ func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opt
 		// Materialize validated the policy already; defend anyway.
 		return nil, fmt.Errorf("strategy: plan names unknown scheduler policy %q", pl.Scheduler.Policy)
 	}
-	out, err := execute(pl.Strategy, p, plat, s, tp, opts)
+	spanPhases := make([]rt.SpanPhase, 0, len(pl.Phases))
+	for _, ph := range pl.Phases {
+		spanPhases = append(spanPhases, rt.SpanPhase{Name: ph.Kernel, Instances: len(ph.Chunks)})
+	}
+	out, err := execute(pl.Strategy, p, plat, s, tp, opts, execSpan, spanPhases)
 	if err != nil {
 		return nil, err
 	}
+	opts.Spans.Virtual(execSpan, 0, sim.Time(out.Result.Makespan))
+	opts.Spans.Annotate(execSpan, "app", pl.App)
 	if len(pl.Decisions) > 0 {
 		out.Decisions = make(map[string]glinda.Decision, len(pl.Decisions))
 		for k, v := range pl.Decisions {
@@ -199,9 +226,17 @@ func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opt
 	return out, nil
 }
 
-// runPlanned is the shared Run body: decide, then execute.
+// runPlanned is the shared Run body: decide, then execute. The two
+// steps get sibling plan / execute spans, so decide-vs-execute cost
+// is directly readable off the span tree.
 func runPlanned(s Strategy, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
-	pl, err := s.Plan(p, plat, opts)
+	planSpan := opts.Spans.Begin(opts.SpanParent, telemetry.KindPlan, "plan "+s.Name())
+	planOpts := opts
+	if planSpan != 0 {
+		planOpts.SpanParent = planSpan
+	}
+	pl, err := s.Plan(p, plat, planOpts)
+	opts.Spans.End(planSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -230,17 +265,20 @@ func newPlan(name string, p *apps.Problem, plat *device.Platform, spec plan.Sche
 
 // execute runs a materialized task plan and wraps the outcome.
 func execute(name string, p *apps.Problem, plat *device.Platform, s sched.Scheduler,
-	tp *task.Plan, opts Options) (*Outcome, error) {
+	tp *task.Plan, opts Options, span telemetry.SpanID, phases []rt.SpanPhase) (*Outcome, error) {
 	var tr *trace.Trace
 	if opts.CollectTrace {
 		tr = &trace.Trace{}
 	}
 	res, err := rt.Execute(rt.Config{
-		Platform:  plat,
-		Scheduler: s,
-		Trace:     tr,
-		Metrics:   opts.Metrics,
-		Compute:   opts.Compute,
+		Platform:   plat,
+		Scheduler:  s,
+		Trace:      tr,
+		Metrics:    opts.Metrics,
+		Spans:      opts.Spans,
+		SpanParent: span,
+		SpanPhases: phases,
+		Compute:    opts.Compute,
 	}, tp, p.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("strategy %s on %s: %w", name, p.AppName, err)

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(date string, series ...Series) *Report {
+	return &Report{Version: ReportVersion, Date: date, Host: CurrentHost(), Series: series}
+}
+
+// TestCompareInjectedRegression: a synthetic 50% slowdown must trip a
+// 20% threshold and carry the right ratio.
+func TestCompareInjectedRegression(t *testing.T) {
+	base := report("2026-01-01",
+		Series{Name: "A", NsPerOp: 100},
+		Series{Name: "B", NsPerOp: 200})
+	cur := report("2026-01-02",
+		Series{Name: "A", NsPerOp: 150}, // +50% — regression
+		Series{Name: "B", NsPerOp: 210}) // +5% — within threshold
+	regs, notes := Compare(base, cur, 0.20)
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+	if len(regs) != 1 || regs[0].Name != "A" {
+		t.Fatalf("got regressions %+v, want exactly A", regs)
+	}
+	if regs[0].Ratio < 1.49 || regs[0].Ratio > 1.51 {
+		t.Fatalf("ratio %v, want ~1.5", regs[0].Ratio)
+	}
+	// At a looser threshold the same pair passes.
+	if regs, _ := Compare(base, cur, 0.60); len(regs) != 0 {
+		t.Fatalf("60%% threshold still regressed: %+v", regs)
+	}
+}
+
+// TestCompareNotes: added/dropped series and host mismatches are
+// advisory, never regressions.
+func TestCompareNotes(t *testing.T) {
+	base := report("2026-01-01", Series{Name: "old", NsPerOp: 100})
+	cur := report("2026-01-02", Series{Name: "new", NsPerOp: 100})
+	cur.Host.NumCPU = base.Host.NumCPU + 1
+	regs, notes := Compare(base, cur, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("notes became regressions: %+v", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"host mismatch", "new, no baseline", "dropped from suite"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestReportRoundTrip: encode → parse → encode is byte-identical and
+// the version gate holds.
+func TestReportRoundTrip(t *testing.T) {
+	r := report("2026-08-08", Series{Name: "A", NsPerOp: 123.5, AllocsPerOp: 7, Iters: 10})
+	r.Derived = []Derived{{Name: "speedup", Value: 2.5, Note: "x"}}
+	enc1, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("re-encode not byte-identical")
+	}
+	if _, err := Parse([]byte(`{"version": 99}`)); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+}
+
+// TestLatestBaseline: newest BENCH_*.json wins, the report being
+// written is excluded, and an empty dir is not an error.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path, r, err := LatestBaseline(dir, "BENCH_2026-08-08.json")
+	if err != nil || path != "" || r != nil {
+		t.Fatalf("empty dir: %v %v %v", path, r, err)
+	}
+	for _, d := range []string{"2026-01-05", "2026-03-01", "2026-08-08"} {
+		if err := report(d, Series{Name: "A", NsPerOp: 1}).WriteFile(
+			filepath.Join(dir, "BENCH_"+d+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, r, err = LatestBaseline(dir, "BENCH_2026-08-08.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2026-03-01.json" || r.Date != "2026-03-01" {
+		t.Fatalf("picked %s (%s), want BENCH_2026-03-01.json", path, r.Date)
+	}
+}
+
+// TestMeasureDerived: Measure fills series in name order and computes
+// the derived ratios when their inputs are present.
+func TestMeasureDerived(t *testing.T) {
+	spin := func(n int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := 0
+				for j := 0; j < n; j++ {
+					s += j
+				}
+				_ = s
+			}
+		}
+	}
+	r := Measure([]Bench{
+		{Name: "SizeSweepNoCache", F: spin(20000)},
+		{Name: "SizeSweepPlanCache", F: spin(200)},
+		{Name: "Zeta", F: spin(10)},
+	})
+	if len(r.Series) != 3 || r.Series[0].Name != "SizeSweepNoCache" ||
+		r.Series[2].Name != "Zeta" {
+		t.Fatalf("series not sorted: %+v", r.Series)
+	}
+	for _, s := range r.Series {
+		if s.NsPerOp < 0 || s.Iters <= 0 {
+			t.Fatalf("bad series %+v", s)
+		}
+	}
+	if len(r.Derived) != 1 || r.Derived[0].Name != "plan_cache_speedup" {
+		t.Fatalf("derived: %+v", r.Derived)
+	}
+	if r.Derived[0].Value <= 1 {
+		t.Fatalf("plan_cache_speedup %v, want > 1 for a 100x heavier no-cache loop", r.Derived[0].Value)
+	}
+	if r.Host != CurrentHost() {
+		t.Fatal("host fingerprint missing")
+	}
+}

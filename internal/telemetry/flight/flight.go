@@ -1,0 +1,267 @@
+// Package flight is the flight recorder: it assembles one simulated
+// run's full evidence — spec, resolved ExecutionPlan, platform
+// fingerprint, metrics snapshot, span tree and utilization table —
+// into a single versioned JSON bundle that can be archived, parsed
+// back, and diffed against another recording (DESIGN.md §8 documents
+// the schema, §9 the record/replay contract).
+//
+// Bundles are deterministic for a deterministic run: every embedded
+// section uses the repo's byte-stable encodings (sorted metrics
+// series, ID-ordered spans, device-ordered utilization, the plan's
+// canonical JSON), so record → Parse → Encode is byte-identical and a
+// bundle always self-diffs empty. Wall-clock span timestamps DO vary
+// between recordings of the same spec; Diff therefore compares spans
+// by their virtual structure, not wall time.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"heteropart/internal/metrics"
+	"heteropart/internal/plan"
+	"heteropart/internal/telemetry"
+	"heteropart/internal/trace"
+)
+
+// BundleVersion is the flight-recorder bundle format version.
+const BundleVersion = 1
+
+// Bundle is one recorded run.
+type Bundle struct {
+	Version int `json:"version"`
+	// App and Strategy identify the run; Spec is its canonical spec
+	// encoding (runner.Spec.Canonical) when recorded through the
+	// runner, free-form otherwise.
+	App      string `json:"app"`
+	Strategy string `json:"strategy"`
+	Spec     string `json:"spec,omitempty"`
+	// Platform is the platform fingerprint (plan.Fingerprint) — the
+	// same identity that gates ExecutionPlan replay.
+	Platform string `json:"platform"`
+	// MakespanNs is the virtual end-to-end execution time.
+	MakespanNs int64 `json:"makespan_ns"`
+	// Plan is the resolved ExecutionPlan in its canonical JSON.
+	Plan json.RawMessage `json:"plan,omitempty"`
+	// Metrics is the run's metrics snapshot (sorted series).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// Spans is the run's span tree (ID order).
+	Spans *telemetry.Dump `json:"spans,omitempty"`
+	// Utilization is the per-device occupancy table (device order).
+	Utilization []trace.DeviceUtilization `json:"utilization,omitempty"`
+}
+
+// Record assembles a bundle from a run's artifacts. Any part may be
+// nil/empty; the bundle records what the run collected.
+func Record(app, strategyName, spec string, platformFP string, makespanNs int64,
+	pl *plan.ExecutionPlan, snap *metrics.Snapshot, tr *telemetry.Tracer,
+	util []trace.DeviceUtilization) (*Bundle, error) {
+	b := &Bundle{
+		Version: BundleVersion, App: app, Strategy: strategyName, Spec: spec,
+		Platform: platformFP, MakespanNs: makespanNs,
+		Metrics: snap, Utilization: util,
+	}
+	if pl != nil {
+		raw, err := pl.JSON()
+		if err != nil {
+			return nil, fmt.Errorf("flight: encode plan: %w", err)
+		}
+		b.Plan = raw
+	}
+	if tr != nil {
+		spans := tr.Spans()
+		if spans == nil {
+			spans = []telemetry.Span{}
+		}
+		b.Spans = &telemetry.Dump{Version: telemetry.DumpVersion, Spans: spans}
+	}
+	return b, nil
+}
+
+// Encode renders the bundle as stable, human-readable JSON: fixed
+// field order, sorted map keys, trailing newline. Parse ∘ Encode is
+// the identity on bytes.
+func (b *Bundle) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("flight: encode bundle: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteFile encodes the bundle into path.
+func (b *Bundle) WriteFile(path string) error {
+	data, err := b.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Parse decodes a bundle, rejecting unknown versions.
+func Parse(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("flight: decode bundle: %w", err)
+	}
+	if b.Version != BundleVersion {
+		return nil, fmt.Errorf("flight: bundle version %d, this build reads %d", b.Version, BundleVersion)
+	}
+	return &b, nil
+}
+
+// ParseFile reads and decodes a bundle file.
+func ParseFile(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Diff compares two bundles section by section and returns one line
+// per difference, deterministically ordered. Equal bundles (and any
+// bundle against itself) produce an empty diff. Span comparison uses
+// the spans' virtual structure (kind, name, virtual interval, count)
+// — wall-clock timestamps legitimately differ between recordings of
+// the same deterministic run.
+func Diff(a, b *Bundle) []string {
+	var out []string
+	scalar := func(field string, av, bv any) {
+		ja, _ := json.Marshal(av)
+		jb, _ := json.Marshal(bv)
+		if string(ja) != string(jb) {
+			out = append(out, fmt.Sprintf("%s: %s != %s", field, ja, jb))
+		}
+	}
+	scalar("version", a.Version, b.Version)
+	scalar("app", a.App, b.App)
+	scalar("strategy", a.Strategy, b.Strategy)
+	scalar("spec", a.Spec, b.Spec)
+	scalar("platform", a.Platform, b.Platform)
+	scalar("makespan_ns", a.MakespanNs, b.MakespanNs)
+
+	if pa, pb := canonJSON(a.Plan), canonJSON(b.Plan); pa != pb {
+		out = append(out, "plan: differs")
+	}
+	out = append(out, diffMetrics(a.Metrics, b.Metrics)...)
+	out = append(out, diffSpans(a.Spans, b.Spans)...)
+	if ua, ub := mustJSON(a.Utilization), mustJSON(b.Utilization); ua != ub {
+		out = append(out, "utilization: differs")
+	}
+	return out
+}
+
+// diffMetrics compares snapshots series by series. Wall-clock series
+// (names containing "wall": sim_wall_ns, sim_virtual_wall_ratio) are
+// skipped for the same reason span wall times are — they measure the
+// host, not the simulated run, and legitimately differ between
+// recordings of the same deterministic spec.
+func diffMetrics(a, b *metrics.Snapshot) []string {
+	var out []string
+	av, bv := snapshotPoints(a), snapshotPoints(b)
+	names := map[string]bool{}
+	for n := range av {
+		names[n] = true
+	}
+	for n := range bv {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if strings.Contains(n, "wall") {
+			continue
+		}
+		pa, oka := av[n]
+		pb, okb := bv[n]
+		switch {
+		case !oka:
+			out = append(out, fmt.Sprintf("metrics %s: only in second", n))
+		case !okb:
+			out = append(out, fmt.Sprintf("metrics %s: only in first", n))
+		case mustJSON(pa) != mustJSON(pb):
+			out = append(out, fmt.Sprintf("metrics %s: %s != %s", n, mustJSON(pa), mustJSON(pb)))
+		}
+	}
+	return out
+}
+
+func snapshotPoints(s *metrics.Snapshot) map[string]metrics.Point {
+	out := map[string]metrics.Point{}
+	if s == nil {
+		return out
+	}
+	for _, p := range s.Points {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// spanShape is a span's wall-clock-free identity.
+type spanShape struct {
+	Kind    telemetry.Kind `json:"kind"`
+	Name    string         `json:"name"`
+	VStart  int64          `json:"vstart"`
+	VEnd    int64          `json:"vend"`
+	Virtual bool           `json:"virtual"`
+}
+
+// diffSpans compares span trees structurally.
+func diffSpans(a, b *telemetry.Dump) []string {
+	na, nb := 0, 0
+	if a != nil {
+		na = len(a.Spans)
+	}
+	if b != nil {
+		nb = len(b.Spans)
+	}
+	if na != nb {
+		return []string{fmt.Sprintf("spans: %d != %d", na, nb)}
+	}
+	if a == nil || b == nil {
+		return nil
+	}
+	for i := range a.Spans {
+		sa, sb := shapeOf(a.Spans[i]), shapeOf(b.Spans[i])
+		if sa != sb {
+			return []string{fmt.Sprintf("spans[%d]: %s != %s", i, mustJSON(sa), mustJSON(sb))}
+		}
+	}
+	return nil
+}
+
+func shapeOf(s telemetry.Span) spanShape {
+	return spanShape{Kind: s.Kind, Name: s.Name, VStart: s.VStart, VEnd: s.VEnd, Virtual: s.HasVirtual}
+}
+
+// canonJSON re-encodes raw JSON compactly so formatting differences
+// never count as diffs.
+func canonJSON(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return string(raw)
+	}
+	return mustJSON(v)
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("!%v", err)
+	}
+	return string(b)
+}

@@ -1,0 +1,147 @@
+package flight_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/metrics"
+	"heteropart/internal/plan"
+	"heteropart/internal/sim"
+	"heteropart/internal/strategy"
+	"heteropart/internal/telemetry"
+	"heteropart/internal/telemetry/flight"
+)
+
+// record runs one instrumented simulation and assembles its bundle —
+// the full pipeline a `hetsim -record-out` invocation exercises.
+func record(t *testing.T, stratName string) *flight.Bundle {
+	t.Helper()
+	plat := device.PaperPlatform(0)
+	app, err := apps.ByName("BlackScholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Build(apps.Variant{N: 1 << 12, Spaces: 1 + len(plat.Accels)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.New()
+	reg := metrics.NewRegistry()
+	opts := strategy.Options{CollectTrace: true, Metrics: reg, Spans: tr}
+	s, err := strategy.ByName(stratName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.Plan(p, plat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := strategy.Execute(pl, p, plat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := int64(out.Result.Makespan)
+	snap := reg.Snapshot(sim.Time(makespan))
+	b, err := flight.Record("BlackScholes", stratName, "BlackScholes/"+stratName,
+		plan.Fingerprint(plat), makespan, pl, &snap, tr,
+		out.Trace.Utilization(out.Result.Makespan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBundleRoundTrip: record → encode → parse → re-encode must be
+// byte-identical, and the parsed bundle must self-diff empty.
+func TestBundleRoundTrip(t *testing.T) {
+	b := record(t, "SP-Single")
+	if b.Plan == nil || b.Metrics == nil || b.Spans == nil || len(b.Utilization) == 0 {
+		t.Fatalf("bundle missing sections: %+v", b)
+	}
+	enc1, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := flight.Parse(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := parsed.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("re-encode not byte-identical:\nfirst %d bytes\nsecond %d bytes", len(enc1), len(enc2))
+	}
+	if d := flight.Diff(b, parsed); len(d) != 0 {
+		t.Fatalf("self-diff not empty: %v", d)
+	}
+	if d := flight.Diff(b, b); len(d) != 0 {
+		t.Fatalf("identity diff not empty: %v", d)
+	}
+}
+
+// TestBundleRecordTwiceDiffEmpty: two independent recordings of the
+// same deterministic spec must diff empty even though their wall-clock
+// span timestamps differ.
+func TestBundleRecordTwiceDiffEmpty(t *testing.T) {
+	a := record(t, "SP-Single")
+	b := record(t, "SP-Single")
+	if d := flight.Diff(a, b); len(d) != 0 {
+		t.Fatalf("re-recording diffs: %v", d)
+	}
+}
+
+// TestBundleDiffReportsDifferences: bundles of different runs must
+// produce a deterministic, non-empty diff naming the changed sections.
+func TestBundleDiffReportsDifferences(t *testing.T) {
+	a := record(t, "SP-Single")
+	b := record(t, "SP-Unified")
+	d := flight.Diff(a, b)
+	if len(d) == 0 {
+		t.Fatal("different strategies diffed empty")
+	}
+	joined := strings.Join(d, "\n")
+	for _, want := range []string{"strategy:", "plan: differs"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("diff missing %q:\n%s", want, joined)
+		}
+	}
+	d2 := flight.Diff(a, b)
+	if strings.Join(d2, "\n") != joined {
+		t.Fatal("diff not deterministic")
+	}
+}
+
+// TestParseRejectsUnknownVersion guards the version gate.
+func TestParseRejectsUnknownVersion(t *testing.T) {
+	if _, err := flight.Parse([]byte(`{"version": 99, "app": "x"}`)); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+	if _, err := flight.Parse([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestWriteParseFile covers the file path round-trip used by
+// -record-out / -record-diff.
+func TestWriteParseFile(t *testing.T) {
+	b := record(t, "SP-Single")
+	path := t.TempDir() + "/bundle.json"
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := flight.ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := flight.Diff(b, back); len(d) != 0 {
+		t.Fatalf("file round-trip diffs: %v", d)
+	}
+	if _, err := flight.ParseFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package serve is the opt-in live telemetry endpoint: a small HTTP
+// server exposing the process's metrics registry in Prometheus text
+// format, the span tracer as a self-describing JSON dump, an index of
+// recorded flight bundles, Go's pprof profiles, and a health probe.
+//
+// Everything is registered on a private mux — nothing touches
+// http.DefaultServeMux — so embedding the server never leaks handlers
+// into an application's own HTTP surface. The server is read-only:
+// handlers snapshot the registry/tracer per request and never mutate
+// simulation state, so serving concurrently with running sweeps is
+// safe.
+//
+// Routes:
+//
+//	/healthz        liveness probe ("ok")
+//	/metrics        Prometheus text exposition of the registry
+//	/spans          span dump JSON (telemetry.Dump)
+//	/runs           flight-recorder index (JSON array)
+//	/runs/{i}       full flight bundle i
+//	/debug/pprof/*  Go runtime profiles
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+
+	"heteropart/internal/metrics"
+	"heteropart/internal/sim"
+	"heteropart/internal/telemetry"
+	"heteropart/internal/telemetry/flight"
+)
+
+// maxRuns bounds the flight-recorder ring; older runs are dropped.
+const maxRuns = 64
+
+// Config parameterizes a Server. Every field is optional: absent
+// sources serve empty (not erroring) documents.
+type Config struct {
+	// Metrics backs /metrics.
+	Metrics *metrics.Registry
+	// Spans backs /spans.
+	Spans *telemetry.Tracer
+	// Now supplies the virtual timestamp stamped on /metrics
+	// snapshots; nil reads as virtual time zero.
+	Now func() sim.Time
+}
+
+// Server is the telemetry HTTP surface plus an in-memory ring of
+// recorded runs. Safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu   sync.Mutex
+	runs []*flight.Bundle
+	// dropped counts runs evicted from the full ring, so the index can
+	// report stable absolute run numbers.
+	dropped int
+}
+
+// New builds a server.
+func New(cfg Config) *Server { return &Server{cfg: cfg} }
+
+// AddRun appends a recorded bundle to the /runs index, evicting the
+// oldest once the ring is full.
+func (s *Server) AddRun(b *flight.Bundle) {
+	if s == nil || b == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs = append(s.runs, b)
+	if len(s.runs) > maxRuns {
+		over := len(s.runs) - maxRuns
+		s.runs = append([]*flight.Bundle(nil), s.runs[over:]...)
+		s.dropped += over
+	}
+}
+
+// runIndexEntry is one /runs index row.
+type runIndexEntry struct {
+	Run        int    `json:"run"`
+	App        string `json:"app"`
+	Strategy   string `json:"strategy"`
+	Spec       string `json:"spec,omitempty"`
+	MakespanNs int64  `json:"makespan_ns"`
+}
+
+// Handler returns the server's routes on a private mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var now sim.Time
+		if s.cfg.Now != nil {
+			now = s.cfg.Now()
+		}
+		// A nil registry still writes the virtual_time header line, so
+		// the endpoint is always valid exposition.
+		_ = s.cfg.Metrics.WriteText(w, now)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.cfg.Spans.WriteJSON(w)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		index := make([]runIndexEntry, len(s.runs))
+		for i, b := range s.runs {
+			index[i] = runIndexEntry{
+				Run: s.dropped + i, App: b.App, Strategy: b.Strategy,
+				Spec: b.Spec, MakespanNs: b.MakespanNs,
+			}
+		}
+		s.mu.Unlock()
+		writeJSON(w, index)
+	})
+	mux.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
+		idx, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/runs/"))
+		if err != nil {
+			http.Error(w, "run index must be an integer", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		i := idx - s.dropped
+		var b *flight.Bundle
+		if i >= 0 && i < len(s.runs) {
+			b = s.runs[i]
+		}
+		s.mu.Unlock()
+		if b == nil {
+			http.Error(w, fmt.Sprintf("no recorded run %d", idx), http.StatusNotFound)
+			return
+		}
+		data, err := b.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe serves the handler on addr, blocking until the
+// listener fails. Intended for `hetsim -serve` / `experiments -serve`.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

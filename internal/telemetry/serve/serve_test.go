@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"heteropart/internal/metrics"
+	"heteropart/internal/sim"
+	"heteropart/internal/telemetry"
+	"heteropart/internal/telemetry/flight"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("demo_total", "a demo counter").Add(3)
+	tr := telemetry.New()
+	tr.End(tr.Begin(0, telemetry.KindRun, "demo"))
+
+	s := New(Config{Metrics: reg, Spans: tr, Now: func() sim.Time { return 42 }})
+	s.AddRun(&flight.Bundle{Version: flight.BundleVersion,
+		App: "BlackScholes", Strategy: "SP-Single", MakespanNs: 1000})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{"heteropart_virtual_time_ns 42", "demo_total 3", "# TYPE"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Prometheus text: every non-comment line is "name value".
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+
+	code, body = get(t, srv, "/spans")
+	if code != 200 {
+		t.Fatalf("spans: %d", code)
+	}
+	dump, err := telemetry.ParseDump([]byte(body))
+	if err != nil {
+		t.Fatalf("spans not a valid dump: %v", err)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "demo" {
+		t.Fatalf("unexpected span dump: %+v", dump.Spans)
+	}
+
+	code, body = get(t, srv, "/runs")
+	if code != 200 {
+		t.Fatalf("runs: %d", code)
+	}
+	var index []map[string]any
+	if err := json.Unmarshal([]byte(body), &index); err != nil {
+		t.Fatalf("runs index not JSON: %v", err)
+	}
+	if len(index) != 1 || index[0]["app"] != "BlackScholes" {
+		t.Fatalf("unexpected runs index: %s", body)
+	}
+
+	code, body = get(t, srv, "/runs/0")
+	if code != 200 {
+		t.Fatalf("runs/0: %d", code)
+	}
+	if _, err := flight.Parse([]byte(body)); err != nil {
+		t.Fatalf("runs/0 not a valid bundle: %v", err)
+	}
+	if code, _ := get(t, srv, "/runs/7"); code != 404 {
+		t.Fatalf("runs/7: got %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/runs/x"); code != 400 {
+		t.Fatalf("runs/x: got %d, want 400", code)
+	}
+
+	if code, body := get(t, srv, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline: %d", code)
+	}
+}
+
+// TestEmptySources: a server with no registry, tracer, or runs still
+// serves valid documents everywhere.
+func TestEmptySources(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}).Handler())
+	defer srv.Close()
+	if code, body := get(t, srv, "/metrics"); code != 200 ||
+		!strings.Contains(body, "heteropart_virtual_time_ns 0") {
+		t.Fatalf("empty metrics: %d %q", code, body)
+	}
+	code, body := get(t, srv, "/spans")
+	if code != 200 {
+		t.Fatalf("empty spans: %d", code)
+	}
+	dump, err := telemetry.ParseDump([]byte(body))
+	if err != nil || len(dump.Spans) != 0 {
+		t.Fatalf("empty spans invalid: %v %+v", err, dump)
+	}
+	if code, body := get(t, srv, "/runs"); code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty runs: %d %q", code, body)
+	}
+}
+
+// TestRunRingEviction: the ring keeps the newest maxRuns bundles and
+// preserves absolute run numbering.
+func TestRunRingEviction(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < maxRuns+5; i++ {
+		s.AddRun(&flight.Bundle{Version: flight.BundleVersion, App: "A", MakespanNs: int64(i)})
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/runs")
+	if code != 200 {
+		t.Fatalf("runs: %d", code)
+	}
+	var index []runIndexEntry
+	if err := json.Unmarshal([]byte(body), &index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != maxRuns {
+		t.Fatalf("ring holds %d, want %d", len(index), maxRuns)
+	}
+	if index[0].Run != 5 || index[0].MakespanNs != 5 {
+		t.Fatalf("oldest surviving run: %+v", index[0])
+	}
+	if code, _ := get(t, srv, "/runs/0"); code != 404 {
+		t.Fatal("evicted run still served")
+	}
+	if code, _ := get(t, srv, "/runs/5"); code != 200 {
+		t.Fatal("surviving run not served by absolute number")
+	}
+}

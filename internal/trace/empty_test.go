@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"heteropart/internal/sim"
+)
+
+// Regression tests for the zero-event degenerate cases: an empty (or
+// nil) trace must still export a valid Chrome trace document, and
+// Utilization must never emit NaN/Inf fractions.
+
+func TestChromeTraceEmptyValid(t *testing.T) {
+	for _, tr := range []*Trace{nil, {}} {
+		var b bytes.Buffer
+		if err := tr.ChromeTrace(&b); err != nil {
+			t.Fatalf("empty ChromeTrace: %v", err)
+		}
+		var doc struct {
+			TraceEvents     []map[string]any `json:"traceEvents"`
+			DisplayTimeUnit string           `json:"displayTimeUnit"`
+		}
+		if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+			t.Fatalf("empty chrome trace is not valid JSON: %v\n%s", err, b.String())
+		}
+		if doc.TraceEvents == nil {
+			t.Fatal("traceEvents must be a (possibly metadata-only) array, not null")
+		}
+		if doc.DisplayTimeUnit != "ms" {
+			t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+		}
+		for _, ev := range doc.TraceEvents {
+			if ev["ph"] != "M" {
+				t.Fatalf("empty trace emitted a non-metadata event: %v", ev)
+			}
+		}
+	}
+}
+
+func TestUtilizationZeroMakespanNoNaN(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Record{Kind: TaskRun, Start: 0, End: 0, Device: 1, Label: "t0", Kernel: "k", Elems: 5})
+	tr.Add(Record{Kind: Transfer, Start: 0, End: 0, Device: 1, Label: "b", Bytes: 8, ToDev: true})
+
+	for _, makespan := range []int64{0, -1} {
+		us := tr.Utilization(sim.Duration(makespan))
+		if len(us) != 1 {
+			t.Fatalf("makespan=%d: got %d rows, want 1", makespan, len(us))
+		}
+		u := us[0]
+		for name, f := range map[string]float64{
+			"Utilization": u.Utilization, "TransferFrac": u.TransferFrac, "DecisionFrac": u.DecisionFrac,
+		} {
+			if math.IsNaN(f) || math.IsInf(f, 0) || f != 0 {
+				t.Fatalf("makespan=%d: %s = %v, want 0", makespan, name, f)
+			}
+		}
+		if u.Tasks != 1 || u.Elems != 5 || u.Transfers != 1 {
+			t.Fatalf("row lost its counts: %+v", u)
+		}
+	}
+
+	// Empty trace: no rows, no panic, regardless of makespan.
+	if rows := (&Trace{}).Utilization(0); rows != nil {
+		t.Fatalf("empty trace produced rows: %+v", rows)
+	}
+}

@@ -47,9 +47,11 @@ type DeviceUtilization struct {
 // for a run of the given makespan, sorted by device ID. Every record
 // kind contributes: TaskRun spans feed Busy, Transfer spans feed
 // TransferBusy, Decision spans feed DecisionOverhead. A device that
-// only moved data (or only cost decisions) still gets a row.
+// only moved data (or only cost decisions) still gets a row. With a
+// zero or negative makespan (a degenerate or empty run) the rows are
+// still built but every occupancy fraction is zero — never NaN or Inf.
 func (t *Trace) Utilization(makespan sim.Duration) []DeviceUtilization {
-	if t == nil || makespan <= 0 {
+	if t == nil {
 		return nil
 	}
 	byDev := make(map[int]*DeviceUtilization)
@@ -83,9 +85,11 @@ func (t *Trace) Utilization(makespan sim.Duration) []DeviceUtilization {
 	}
 	out := make([]DeviceUtilization, 0, len(byDev))
 	for _, u := range byDev {
-		u.Utilization = float64(u.Busy) / float64(makespan)
-		u.TransferFrac = float64(u.TransferBusy) / float64(makespan)
-		u.DecisionFrac = float64(u.DecisionOverhead) / float64(makespan)
+		if makespan > 0 {
+			u.Utilization = float64(u.Busy) / float64(makespan)
+			u.TransferFrac = float64(u.TransferBusy) / float64(makespan)
+			u.DecisionFrac = float64(u.DecisionOverhead) / float64(makespan)
+		}
 		out = append(out, *u)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })

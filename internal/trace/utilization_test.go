@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"heteropart/internal/sim"
 )
 
 // TestUtilizationAccountsTransfersAndDecisions: Utilization must
@@ -84,9 +86,15 @@ func TestTasksOnAndUtilizationNilEmpty(t *testing.T) {
 	if empty.Utilization(100) != nil {
 		t.Fatal("empty trace Utilization non-nil")
 	}
-	// Zero and negative makespans cannot produce fractions.
-	if sample().Utilization(0) != nil || sample().Utilization(-5) != nil {
-		t.Fatal("non-positive makespan produced rows")
+	// Zero and negative makespans cannot produce fractions — rows keep
+	// their counts but every occupancy fraction is zero (see
+	// TestUtilizationZeroMakespanNoNaN for the NaN regression guard).
+	for _, m := range []sim.Duration{0, -5} {
+		for _, u := range sample().Utilization(m) {
+			if u.Utilization != 0 || u.TransferFrac != 0 || u.DecisionFrac != 0 {
+				t.Fatalf("makespan %v produced non-zero fraction: %+v", m, u)
+			}
+		}
 	}
 	if !strings.Contains(empty.UtilizationReport(100), "no task records") {
 		t.Fatal("empty report wrong")
