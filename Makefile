@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean
+.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean api service-load
 
 # Pinned staticcheck version; CI installs exactly this.
 STATICCHECK_VERSION = 2024.1.1
@@ -39,8 +39,19 @@ race:
 race-observe:
 	$(GO) test -race ./internal/metrics/... ./internal/trace/...
 
+# Regenerate the committed API-surface golden (api.txt). Run after any
+# intentional change to the facade's exported surface; TestAPISurface
+# fails until the golden matches.
+api:
+	$(GO) run ./cmd/apidump > api.txt
+
+# The service load test at its acceptance scale (64 concurrent
+# matchmake clients, zero failures, coalescing hits required).
+service-load:
+	$(GO) test -short -run TestServiceLoad -count=1 ./internal/service
+
 # Everything a change must pass before merging.
-check: build vet lint test race bench-report
+check: build vet lint test race service-load bench-report
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

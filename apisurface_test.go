@@ -1,0 +1,52 @@
+package heteropart_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"heteropart/internal/apisurface"
+)
+
+// TestAPISurface pins the package's exported API surface to the
+// committed golden (api.txt). A surface change — adding, removing or
+// re-signing an exported identifier — must come with `make api`, so
+// the diff is explicit in review and never incidental.
+func TestAPISurface(t *testing.T) {
+	lines, err := apisurface.Surface(".")
+	if err != nil {
+		t.Fatalf("Surface: %v", err)
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	goldenBytes, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with `make api`)", err)
+	}
+	golden := string(goldenBytes)
+	if got == golden {
+		return
+	}
+	gotSet := toSet(lines)
+	wantSet := toSet(strings.Split(strings.TrimRight(golden, "\n"), "\n"))
+	for l := range wantSet {
+		if !gotSet[l] {
+			t.Errorf("missing from surface: %s", l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			t.Errorf("not in golden:       %s", l)
+		}
+	}
+	t.Fatalf("API surface differs from api.txt; if the change is intended, run `make api` and commit the diff")
+}
+
+func toSet(lines []string) map[string]bool {
+	set := make(map[string]bool, len(lines))
+	for _, l := range lines {
+		if l != "" {
+			set[l] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,25 @@
+// Command apidump prints the exported API surface of the package in
+// the current (or given) directory, one declaration per line, sorted.
+// `make api` redirects it into api.txt, the golden file TestAPISurface
+// pins.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"heteropart/internal/apisurface"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to dump")
+	flag.Parse()
+	lines, err := apisurface.Surface(*dir)
+	if err != nil {
+		log.Fatalf("apidump: %v", err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}

@@ -1,0 +1,172 @@
+package heteropart_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"heteropart"
+)
+
+func buildProblem(t *testing.T, app string, n int64) *heteropart.Problem {
+	t.Helper()
+	a, err := heteropart.AppByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Build(heteropart.Variant{N: n, Spaces: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// resultBytes canonicalizes an outcome for comparison: encoding/json
+// sorts map keys, so equal results marshal to equal bytes.
+func resultBytes(t *testing.T, out *heteropart.Outcome) []byte {
+	t.Helper()
+	if out == nil || out.Result == nil {
+		t.Fatal("nil outcome")
+	}
+	b, err := json.Marshal(out.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestContextVariantsByteIdentical checks the issue's compatibility
+// contract: each context-free facade function and its *Context
+// counterpart under context.Background() produce byte-identical
+// results.
+func TestContextVariantsByteIdentical(t *testing.T) {
+	plat := heteropart.PaperPlatform(0)
+
+	rep1, out1, err := heteropart.Matchmake(buildProblem(t, "BlackScholes", 16384), plat, heteropart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, out2, err := heteropart.MatchmakeContext(context.Background(),
+		buildProblem(t, "BlackScholes", 16384), plat, heteropart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.String() != rep2.String() {
+		t.Errorf("reports differ: %q vs %q", rep1, rep2)
+	}
+	if a, b := resultBytes(t, out1), resultBytes(t, out2); string(a) != string(b) {
+		t.Errorf("Matchmake vs MatchmakeContext results differ:\n%s\n%s", a, b)
+	}
+
+	// Decide once, execute through both entry points.
+	r := heteropart.NewRunner(heteropart.RunnerConfig{Workers: 1})
+	res, err := r.Run(heteropart.RunSpec{App: "STREAM-Seq", N: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := res.Plan
+	if pl == nil {
+		t.Fatal("runner result missing plan")
+	}
+	outA, err := heteropart.ExecutePlan(pl, buildProblem(t, "STREAM-Seq", 16384), plat, heteropart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := heteropart.ExecutePlanContext(context.Background(), pl,
+		buildProblem(t, "STREAM-Seq", 16384), plat, heteropart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultBytes(t, outA), resultBytes(t, outB); string(a) != string(b) {
+		t.Errorf("ExecutePlan vs ExecutePlanContext results differ:\n%s\n%s", a, b)
+	}
+
+	// Runner.Run vs Runner.RunContext, on cache-disabled runners so
+	// both actually execute.
+	spec := heteropart.RunSpec{App: "HotSpot", N: 4096, Iters: 4}
+	ra := heteropart.NewRunner(heteropart.RunnerConfig{Workers: 1, DisableCache: true})
+	rb := heteropart.NewRunner(heteropart.RunnerConfig{Workers: 1, DisableCache: true})
+	resA, err := ra.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := rb.RunContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultBytes(t, resA.Outcome), resultBytes(t, resB.Outcome); string(a) != string(b) {
+		t.Errorf("Run vs RunContext results differ:\n%s\n%s", a, b)
+	}
+	pa, err := resA.Plan.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := resB.Plan.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pa) != string(pb) {
+		t.Errorf("Run vs RunContext plans differ")
+	}
+}
+
+// TestSentinelErrors checks that the typed sentinels are wrapped at
+// their origins and classify through errors.Is at the facade.
+func TestSentinelErrors(t *testing.T) {
+	if _, err := heteropart.AppByName("NoSuchApp"); !errors.Is(err, heteropart.ErrUnknownApp) {
+		t.Errorf("AppByName error %v does not wrap ErrUnknownApp", err)
+	}
+	if _, err := heteropart.StrategyByName("SP-Bogus"); !errors.Is(err, heteropart.ErrUnknownStrategy) {
+		t.Errorf("StrategyByName error %v does not wrap ErrUnknownStrategy", err)
+	}
+	if _, err := heteropart.PlanFromJSON([]byte(`{"version":1}`)); !errors.Is(err, heteropart.ErrPlanInvalid) {
+		t.Errorf("PlanFromJSON error %v does not wrap ErrPlanInvalid", err)
+	}
+	if _, err := heteropart.PlanFromJSON([]byte(`not json`)); !errors.Is(err, heteropart.ErrPlanInvalid) {
+		t.Errorf("PlanFromJSON decode error %v does not wrap ErrPlanInvalid", err)
+	}
+
+	// Platform mismatch: decide on 12 threads, execute on 4.
+	r := heteropart.NewRunner(heteropart.RunnerConfig{Workers: 1})
+	res, err := r.Run(heteropart.RunSpec{App: "BlackScholes", N: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = heteropart.ExecutePlan(res.Plan, buildProblem(t, "BlackScholes", 16384),
+		heteropart.PaperPlatform(4), heteropart.Options{})
+	if !errors.Is(err, heteropart.ErrPlatformMismatch) {
+		t.Errorf("mismatched execute error %v does not wrap ErrPlatformMismatch", err)
+	}
+
+	// Cancellation: a pre-canceled context wraps both ErrCanceled and
+	// the context's own error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = heteropart.MatchmakeContext(ctx, buildProblem(t, "BlackScholes", 16384),
+		heteropart.PaperPlatform(0), heteropart.Options{})
+	if !errors.Is(err, heteropart.ErrCanceled) {
+		t.Errorf("canceled matchmake error %v does not wrap ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled matchmake error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestRecordRunNilOutcome is the regression test for the nil-outcome
+// footgun: RecordRun used to dereference out.Result unconditionally
+// and panic; it must return a typed error instead.
+func TestRecordRunNilOutcome(t *testing.T) {
+	if _, err := heteropart.RecordRun("x", nil, nil, heteropart.PaperPlatform(0), nil, nil); !errors.Is(err, heteropart.ErrNilOutcome) {
+		t.Errorf("RecordRun(nil outcome) error %v does not wrap ErrNilOutcome", err)
+	}
+	out := &heteropart.Outcome{Strategy: "SP-Single"} // no Result
+	_, err := heteropart.RecordRun("x", out, nil, heteropart.PaperPlatform(0), nil, nil)
+	if !errors.Is(err, heteropart.ErrNilOutcome) {
+		t.Errorf("RecordRun(no result) error %v does not wrap ErrNilOutcome", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "SP-Single") {
+		t.Errorf("RecordRun error %v does not name the strategy", err)
+	}
+}

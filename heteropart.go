@@ -35,7 +35,11 @@
 package heteropart
 
 import (
+	"context"
+	"fmt"
+
 	"heteropart/internal/analyzer"
+	"heteropart/internal/apierr"
 	"heteropart/internal/apps"
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
@@ -265,10 +269,46 @@ func Ranking(cls Class, needsSync bool) []string { return analyzer.Ranking(cls, 
 // (the paper's application analyzer, Fig. 2).
 func Analyze(p *Problem) (Report, error) { return analyzer.Analyze(p) }
 
+// Typed sentinel errors of the API boundary. Every error returned by
+// the facade (and the layers beneath it) wraps the matching sentinel
+// at its origin, so errors.Is classifies failures without string
+// matching; the hetserved HTTP service maps them to status codes
+// (404 / 400 / 409 / 499).
+var (
+	// ErrUnknownApp: AppByName was asked for an unregistered
+	// application.
+	ErrUnknownApp = apierr.ErrUnknownApp
+	// ErrUnknownStrategy: StrategyByName was asked for an unregistered
+	// strategy.
+	ErrUnknownStrategy = apierr.ErrUnknownStrategy
+	// ErrPlanInvalid: an ExecutionPlan failed validation, decoding, or
+	// binding to its problem.
+	ErrPlanInvalid = apierr.ErrPlanInvalid
+	// ErrPlatformMismatch: a plan was executed on a platform other than
+	// the one it was decided for.
+	ErrPlatformMismatch = apierr.ErrPlatformMismatch
+	// ErrCanceled: a *Context run was abandoned because its context was
+	// canceled or its deadline expired. The context's own error is in
+	// the chain too, so errors.Is also matches context.Canceled /
+	// context.DeadlineExceeded.
+	ErrCanceled = apierr.ErrCanceled
+	// ErrNilOutcome: RecordRun was handed an outcome with no execution
+	// result.
+	ErrNilOutcome = apierr.ErrNilOutcome
+)
+
 // Matchmake analyzes a problem, then runs the selected strategy on the
 // platform.
 func Matchmake(p *Problem, plat *Platform, opts Options) (Report, *Outcome, error) {
 	return analyzer.Matchmake(p, plat, opts)
+}
+
+// MatchmakeContext is Matchmake under a cancellation context: the
+// selected strategy's execution honours ctx cooperatively at phase
+// boundaries and returns an error wrapping ErrCanceled when abandoned.
+// With a background context the result is byte-identical to Matchmake.
+func MatchmakeContext(ctx context.Context, p *Problem, plat *Platform, opts Options) (Report, *Outcome, error) {
+	return analyzer.MatchmakeContext(ctx, p, plat, opts)
 }
 
 // ValidateRanking runs every suitable strategy for an application and
@@ -283,6 +323,14 @@ func ValidateRanking(app App, v Variant, plat *Platform, opts Options) (*Validat
 // the run that decided it exactly.
 func ExecutePlan(pl *ExecutionPlan, p *Problem, plat *Platform, opts Options) (*Outcome, error) {
 	return strategy.Execute(pl, p, plat, opts)
+}
+
+// ExecutePlanContext is ExecutePlan under a cancellation context,
+// checked cooperatively at the runtime's phase boundaries; an
+// abandoned run returns an error wrapping ErrCanceled. With a
+// background context the result is byte-identical to ExecutePlan.
+func ExecutePlanContext(ctx context.Context, pl *ExecutionPlan, p *Problem, plat *Platform, opts Options) (*Outcome, error) {
+	return strategy.ExecuteContext(ctx, pl, p, plat, opts)
 }
 
 // PlanFromJSON decodes and validates a serialized ExecutionPlan.
@@ -348,9 +396,17 @@ func PlatformFingerprint(p *Platform) string { return plan.Fingerprint(p) }
 
 // RecordRun assembles a flight-recorder bundle from one executed run.
 // reg, tr and the outcome's trace may each be nil; the bundle records
-// whatever the run collected.
+// whatever the run collected. An outcome that is nil or carries no
+// execution result cannot be recorded and returns an error wrapping
+// ErrNilOutcome.
 func RecordRun(appName string, out *Outcome, pl *ExecutionPlan, plat *Platform,
 	reg *Metrics, tr *SpanTracer) (*FlightBundle, error) {
+	if out == nil {
+		return nil, fmt.Errorf("heteropart: RecordRun(%s): nil outcome: %w", appName, ErrNilOutcome)
+	}
+	if out.Result == nil {
+		return nil, fmt.Errorf("heteropart: RecordRun(%s/%s): %w", appName, out.Strategy, ErrNilOutcome)
+	}
 	makespan := out.Result.Makespan
 	var snap *MetricsSnapshot
 	if reg != nil {

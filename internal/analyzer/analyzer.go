@@ -6,6 +6,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,6 +87,15 @@ func Analyze(p *apps.Problem) (Report, error) {
 // Matchmake runs the full pipeline of Fig. 2: analyze the problem,
 // enable the best partitioning strategy, and execute it.
 func Matchmake(p *apps.Problem, plat *device.Platform, opts strategy.Options) (Report, *strategy.Outcome, error) {
+	return MatchmakeContext(context.Background(), p, plat, opts)
+}
+
+// MatchmakeContext is Matchmake under a cancellation context: analysis
+// is pure and always completes, the selected strategy's execution
+// honours ctx at phase boundaries and returns an error wrapping
+// apierr.ErrCanceled when abandoned. With a background context the
+// result is byte-identical to Matchmake.
+func MatchmakeContext(ctx context.Context, p *apps.Problem, plat *device.Platform, opts strategy.Options) (Report, *strategy.Outcome, error) {
 	rep, err := Analyze(p)
 	if err != nil {
 		return Report{}, nil, err
@@ -94,7 +104,7 @@ func Matchmake(p *apps.Problem, plat *device.Platform, opts strategy.Options) (R
 	if err != nil {
 		return rep, nil, err
 	}
-	out, err := s.Run(p, plat, opts)
+	out, err := strategy.RunContext(ctx, s, p, plat, opts)
 	return rep, out, err
 }
 

@@ -1,0 +1,254 @@
+// Package apisurface renders a Go package's exported API surface as a
+// sorted list of one-line declarations — the golden file (api.txt) the
+// root package's TestAPISurface pins, so any change to the public
+// surface shows up as an explicit diff in review rather than slipping
+// through as an incidental edit.
+//
+// The renderer is AST-based (go/parser + go/printer) so it needs no
+// resolved imports; a lenient go/types pass with a stub importer
+// cross-checks that every exported package-scope identifier made it
+// into the rendering. Only the shapes that exist in this repo's facade
+// are handled: funcs, methods on exported receivers, type aliases,
+// structs (exported fields only), interfaces (exported methods only),
+// and const/var specs.
+package apisurface
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Surface parses the package in dir (non-test files only) and returns
+// its exported surface, one declaration per line, sorted.
+func Surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("apisurface: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("apisurface: no Go files in %s", dir)
+	}
+
+	var lines []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				lines = append(lines, funcLines(fset, d)...)
+			case *ast.GenDecl:
+				lines = append(lines, genLines(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+
+	if err := crossCheck(fset, files, lines); err != nil {
+		return nil, err
+	}
+	return lines, nil
+}
+
+// funcLines renders an exported function or an exported method on an
+// exported receiver type; anything else renders to nothing.
+func funcLines(fset *token.FileSet, d *ast.FuncDecl) []string {
+	if !d.Name.IsExported() {
+		return nil
+	}
+	if d.Recv != nil {
+		recv := receiverType(d.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return nil
+		}
+	}
+	clone := *d
+	clone.Body = nil
+	clone.Doc = nil
+	return []string{render(fset, &clone)}
+}
+
+func receiverType(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// genLines renders the exported specs of a const/var/type declaration,
+// one line per exported name.
+func genLines(fset *token.FileSet, d *ast.GenDecl) []string {
+	var lines []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			lines = append(lines, typeLine(fset, s))
+		case *ast.ValueSpec:
+			lines = append(lines, valueLines(fset, d.Tok, s)...)
+		}
+	}
+	return lines
+}
+
+func typeLine(fset *token.FileSet, s *ast.TypeSpec) string {
+	clone := *s
+	clone.Doc, clone.Comment = nil, nil
+	switch t := clone.Type.(type) {
+	case *ast.StructType:
+		st := *t
+		st.Fields = exportedFields(t.Fields, false)
+		clone.Type = &st
+	case *ast.InterfaceType:
+		it := *t
+		it.Methods = exportedFields(t.Methods, true)
+		clone.Type = &it
+	}
+	return render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&clone}})
+}
+
+// exportedFields filters a field list down to exported members.
+// Embedded fields and interface embeddings count as exported when
+// their type name is.
+func exportedFields(fl *ast.FieldList, iface bool) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			// Embedded: keep when the terminal type name is exported.
+			name := receiverType(&ast.FieldList{List: []*ast.Field{f}})
+			if name == "" || ast.IsExported(name) {
+				out.List = append(out.List, stripField(f))
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		clone := *stripField(f)
+		clone.Names = names
+		out.List = append(out.List, &clone)
+	}
+	return out
+}
+
+func stripField(f *ast.Field) *ast.Field {
+	clone := *f
+	clone.Doc, clone.Comment = nil, nil
+	return &clone
+}
+
+// valueLines renders "const Name ..." / "var Name ..." one name per
+// line, pairing each name with its initializer when the spec has one
+// per name.
+func valueLines(fset *token.FileSet, tok token.Token, s *ast.ValueSpec) []string {
+	var lines []string
+	for i, n := range s.Names {
+		if !n.IsExported() {
+			continue
+		}
+		one := &ast.ValueSpec{Names: []*ast.Ident{n}, Type: s.Type}
+		if len(s.Values) == len(s.Names) {
+			one.Values = []ast.Expr{s.Values[i]}
+		} else if len(s.Values) > 0 {
+			one.Values = s.Values
+		}
+		lines = append(lines, render(fset, &ast.GenDecl{Tok: tok, Specs: []ast.Spec{one}}))
+	}
+	return lines
+}
+
+// render prints a node and collapses it onto one line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, node)
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// stubImporter satisfies go/types with empty packages so the facade —
+// which imports only internal packages — type-checks far enough to
+// enumerate its package scope. Resolution errors are expected and
+// ignored; only the scope's name list is used.
+type stubImporter struct{ pkgs map[string]*types.Package }
+
+func (si stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	si.pkgs[path] = p
+	return p, nil
+}
+
+// crossCheck verifies every exported package-scope identifier the type
+// checker sees is mentioned by some rendered line — the belt to the
+// AST renderer's braces.
+func crossCheck(fset *token.FileSet, files []*ast.File, lines []string) error {
+	conf := types.Config{
+		Importer: stubImporter{pkgs: map[string]*types.Package{}},
+		Error:    func(error) {}, // resolution errors are expected
+	}
+	pkg, _ := conf.Check(files[0].Name.Name, fset, files, nil)
+	if pkg == nil {
+		return fmt.Errorf("apisurface: type-check produced no package")
+	}
+	joined := strings.Join(lines, "\n")
+	var missing []string
+	for _, name := range pkg.Scope().Names() {
+		if !token.IsExported(name) {
+			continue
+		}
+		if !strings.Contains(joined, name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("apisurface: exported identifiers not rendered: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heteropart/internal/apierr"
 	"heteropart/internal/classify"
 	"heteropart/internal/mem"
 	"heteropart/internal/names"
@@ -187,9 +188,9 @@ func ByName(name string) (App, error) {
 		known[i] = a.Name()
 	}
 	if sug := names.Closest(name, known); sug != "" {
-		return nil, fmt.Errorf("apps: unknown application %q (did you mean %q?)", name, sug)
+		return nil, fmt.Errorf("apps: %w %q (did you mean %q?)", apierr.ErrUnknownApp, name, sug)
 	}
-	return nil, fmt.Errorf("apps: unknown application %q", name)
+	return nil, fmt.Errorf("apps: %w %q", apierr.ErrUnknownApp, name)
 }
 
 // rw is shorthand for a one-to-one interval access.

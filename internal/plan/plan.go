@@ -22,9 +22,11 @@ package plan
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
+	"heteropart/internal/apierr"
 	"heteropart/internal/apps"
 	"heteropart/internal/device"
 	"heteropart/internal/glinda"
@@ -155,7 +157,23 @@ func Fingerprint(p *device.Platform) string {
 //  7. the static policy cannot place unpinned chunks (they would
 //     strand in the central queue);
 //  8. atomic phases must be exactly one whole-range chunk.
+//
+// A failure wraps apierr.ErrPlanInvalid, so callers can test the class
+// of error with errors.Is without matching rule text.
 func (pl *ExecutionPlan) Validate() error {
+	return invalid(pl.validate())
+}
+
+// invalid tags a validation/binding failure with the ErrPlanInvalid
+// sentinel exactly once.
+func invalid(err error) error {
+	if err == nil || errors.Is(err, apierr.ErrPlanInvalid) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", apierr.ErrPlanInvalid, err)
+}
+
+func (pl *ExecutionPlan) validate() error {
 	if pl.Version != Version {
 		return fmt.Errorf("plan: unsupported version %d (want %d)", pl.Version, Version)
 	}
@@ -215,10 +233,12 @@ func (pl *ExecutionPlan) Validate() error {
 	return nil
 }
 
-// CheckPlatform verifies the plan was decided for this platform.
+// CheckPlatform verifies the plan was decided for this platform. A
+// mismatch wraps apierr.ErrPlatformMismatch.
 func (pl *ExecutionPlan) CheckPlatform(plat *device.Platform) error {
 	if fp := Fingerprint(plat); pl.Platform != fp {
-		return fmt.Errorf("plan: decided for platform %q, executing on %q", pl.Platform, fp)
+		return fmt.Errorf("plan: %w: decided for platform %q, executing on %q",
+			apierr.ErrPlatformMismatch, pl.Platform, fp)
 	}
 	return nil
 }
@@ -232,6 +252,14 @@ func (pl *ExecutionPlan) CheckPlatform(plat *device.Platform) error {
 // cannot have been dropped (atomic DAG problems order phases through
 // the dependency graph instead of barriers).
 func (pl *ExecutionPlan) Materialize(p *apps.Problem) (*task.Plan, error) {
+	tp, err := pl.materialize(p)
+	if err != nil {
+		return nil, invalid(err)
+	}
+	return tp, nil
+}
+
+func (pl *ExecutionPlan) materialize(p *apps.Problem) (*task.Plan, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
@@ -285,11 +313,12 @@ func (pl *ExecutionPlan) JSON() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// FromJSON decodes a plan and validates it.
+// FromJSON decodes a plan and validates it. Both decode and
+// validation failures wrap apierr.ErrPlanInvalid.
 func FromJSON(data []byte) (*ExecutionPlan, error) {
 	var pl ExecutionPlan
 	if err := json.Unmarshal(data, &pl); err != nil {
-		return nil, fmt.Errorf("plan: decode: %w", err)
+		return nil, invalid(fmt.Errorf("plan: decode: %v", err))
 	}
 	if err := pl.Validate(); err != nil {
 		return nil, err

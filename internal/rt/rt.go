@@ -17,8 +17,10 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 
+	"heteropart/internal/apierr"
 	"heteropart/internal/device"
 	"heteropart/internal/mem"
 	"heteropart/internal/metrics"
@@ -33,6 +35,14 @@ import (
 type Config struct {
 	Platform  *device.Platform
 	Scheduler sched.Scheduler
+	// Ctx, when non-nil, is checked cooperatively at phase boundaries
+	// (program-order ops and taskwait resumption): a canceled context
+	// halts the simulation and Execute returns an error wrapping
+	// apierr.ErrCanceled. Nil means run to completion. Checks happen
+	// only between phases — a single in-flight kernel batch is never
+	// interrupted — so cancellation latency is bounded by the longest
+	// barrier-to-barrier window, not by event granularity.
+	Ctx context.Context
 	// Trace, when non-nil, receives execution records.
 	Trace *trace.Trace
 	// Metrics, when non-nil, receives runtime counters and scheduler
@@ -197,6 +207,9 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 	if err := plan.Err(); err != nil {
 		return nil, fmt.Errorf("rt: faulted plan: %w", err)
 	}
+	if err := apierr.FromContext(cfg.Ctx); err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
 
 	task.BuildDeps(plan)
 
@@ -315,12 +328,29 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 	return e.res, nil
 }
 
+// canceled checks the execution's context at a phase boundary; when it
+// is done, the engine halts with an error wrapping apierr.ErrCanceled.
+func (e *engine) canceled() bool {
+	if e.cfg.Ctx == nil {
+		return false
+	}
+	if err := apierr.FromContext(e.cfg.Ctx); err != nil {
+		e.fail(fmt.Errorf("rt: execution abandoned at phase boundary (op %d/%d): %w",
+			e.opIdx, len(e.plan.Ops), err))
+		return true
+	}
+	return false
+}
+
 // processOps advances through the plan until a barrier blocks or the
 // plan ends. Dispatch happens once afterwards, so a burst of
 // submissions is offered to all devices breadth-first instead of being
 // swallowed by whichever device is polled first.
 func (e *engine) processOps() {
 	defer e.dispatchAll()
+	if e.canceled() {
+		return
+	}
 	for e.opIdx < len(e.plan.Ops) {
 		op := e.plan.Ops[e.opIdx]
 		switch op.Kind {
@@ -347,6 +377,9 @@ func (e *engine) processOps() {
 // completed and in-flight eager writebacks have drained.
 func (e *engine) tryBarrier() {
 	if !e.barrierWait || e.remaining > 0 || e.eagerCount > 0 {
+		return
+	}
+	if e.canceled() {
 		return
 	}
 	e.barrierWait = false

@@ -27,11 +27,14 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 
 	"heteropart/internal/analyzer"
+	"heteropart/internal/apierr"
 	"heteropart/internal/apps"
 	"heteropart/internal/device"
 	"heteropart/internal/metrics"
@@ -47,6 +50,10 @@ type Result struct {
 	// Report is the analyzer's decision; only set when the spec left
 	// the strategy to the matchmaker (Spec.Strategy == "").
 	Report *analyzer.Report
+	// Plan is the decided ExecutionPlan the outcome executed (possibly
+	// recalled from the plan cache). Plans are immutable; callers may
+	// serialize or diff it freely.
+	Plan *plan.ExecutionPlan
 	// Metrics is the run's private registry (Spec.WithMetrics).
 	Metrics *metrics.Registry
 	// Verify checks computed results against the sequential reference;
@@ -152,18 +159,37 @@ func New(cfg Config) *Runner {
 func (r *Runner) Workers() int { return r.workers }
 
 // Run executes (or recalls) one spec.
-func (r *Runner) Run(spec Spec) (*Result, error) { return r.run(spec, 0) }
+func (r *Runner) Run(spec Spec) (*Result, error) {
+	return r.run(context.Background(), spec, 0)
+}
 
-// run is Run with a sweep-span parent threaded through.
-func (r *Runner) run(spec Spec, parent telemetry.SpanID) (*Result, error) {
+// RunContext is Run under a cancellation context: the context gates
+// worker acquisition, cache waits and the simulation's phase
+// boundaries; an abandoned run returns an error wrapping
+// apierr.ErrCanceled. A canceled execution is evicted from the result
+// cache before its single-flight slot closes, so a later identical
+// spec re-executes cleanly instead of recalling the abort.
+func (r *Runner) RunContext(ctx context.Context, spec Spec) (*Result, error) {
+	return r.run(ctx, spec, 0)
+}
+
+// run is RunContext with a sweep-span parent threaded through.
+func (r *Runner) run(ctx context.Context, spec Spec, parent telemetry.SpanID) (*Result, error) {
+	if err := apierr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	if r.cache == nil {
-		return r.execute(spec, parent)
+		return r.execute(ctx, spec, parent)
 	}
 	key := spec.Key()
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, apierr.Canceled(ctx.Err())
+		}
 		r.hits.Inc()
 		return e.res, e.err
 	}
@@ -171,7 +197,16 @@ func (r *Runner) run(spec Spec, parent telemetry.SpanID) (*Result, error) {
 	r.cache[key] = e
 	r.mu.Unlock()
 	r.misses.Inc()
-	e.res, e.err = r.execute(spec, parent)
+	e.res, e.err = r.execute(ctx, spec, parent)
+	if e.err != nil && errors.Is(e.err, apierr.ErrCanceled) {
+		// Never cache a cancellation: the abort reflects this caller's
+		// context, not the spec's (deterministic) result.
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
 }
@@ -181,6 +216,15 @@ func (r *Runner) run(spec Spec, parent telemetry.SpanID) (*Result, error) {
 // input position) is returned; the result slice still holds whatever
 // completed.
 func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
+	return r.RunAllContext(context.Background(), specs)
+}
+
+// RunAllContext is RunAll under a cancellation context: once ctx is
+// done, queued specs fail fast and executing specs abandon at their
+// next phase boundary; the first error (by input position) wraps
+// apierr.ErrCanceled. With a background context the results are
+// byte-identical to RunAll.
+func (r *Runner) RunAllContext(ctx context.Context, specs []Spec) ([]*Result, error) {
 	sweep := r.spans.Begin(0, telemetry.KindSweep, fmt.Sprintf("sweep %d specs", len(specs)))
 	defer r.spans.End(sweep)
 	results := make([]*Result, len(specs))
@@ -190,7 +234,7 @@ func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.run(specs[i], sweep)
+			results[i], errs[i] = r.run(ctx, specs[i], sweep)
 		}(i)
 	}
 	wg.Wait()
@@ -202,12 +246,60 @@ func (r *Runner) RunAll(specs []Spec) ([]*Result, error) {
 	return results, nil
 }
 
+// PlanContext decides a spec's ExecutionPlan without executing it —
+// the service's /v1/plan endpoint and any decide-only caller go
+// through here. The decision comes from the plan cache when possible
+// (same key as executed specs, so a later execution of the spec reuses
+// it). The returned report is non-nil only for matchmade specs
+// (Spec.Strategy == ""). Planning itself is not interruptible; ctx
+// gates entry.
+func (r *Runner) PlanContext(ctx context.Context, spec Spec) (*plan.ExecutionPlan, *analyzer.Report, error) {
+	if err := apierr.FromContext(ctx); err != nil {
+		return nil, nil, err
+	}
+	plat := spec.platform()
+	app, err := apps.ByName(spec.App)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := app.Build(apps.Variant{
+		N: spec.N, Iters: spec.Iters, Sync: spec.Sync,
+		Spaces: 1 + len(plat.Accels),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep *analyzer.Report
+	stratName := spec.Strategy
+	if stratName == "" {
+		rr, err := analyzer.Analyze(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep = &rr
+		stratName = rr.Best
+	}
+	s, err := strategy.ByName(stratName)
+	if err != nil {
+		return nil, rep, err
+	}
+	pl, err := r.planFor(spec, s, plat, p, strategy.Options{
+		Chunks: spec.Chunks, NoSeed: spec.NoSeed, Spans: r.spans,
+	})
+	return pl, rep, err
+}
+
 // execute performs one run inside a worker slot. Everything mutable —
 // problem, directory, scheduler, engine, trace, metrics — is created
 // here and owned by this call; the platform and the app/strategy
 // registries are read-only.
-func (r *Runner) execute(spec Spec, parent telemetry.SpanID) (*Result, error) {
-	worker := <-r.sem
+func (r *Runner) execute(ctx context.Context, spec Spec, parent telemetry.SpanID) (*Result, error) {
+	var worker int
+	select {
+	case worker = <-r.sem:
+	case <-ctx.Done():
+		return nil, apierr.Canceled(ctx.Err())
+	}
 	defer func() { r.sem <- worker }()
 
 	runSpan := r.spans.Begin(parent, telemetry.KindRun, spec.String())
@@ -263,7 +355,8 @@ func (r *Runner) execute(spec Spec, parent telemetry.SpanID) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := strategy.Execute(pl, p, plat, opts)
+	res.Plan = pl
+	out, err := strategy.ExecuteContext(ctx, pl, p, plat, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,839 @@
+// Package service is the matchmaking-as-a-service layer: an HTTP API
+// over the heteropart facade that turns the library's decide/execute
+// pipeline into a long-running daemon (cmd/hetserved), engineered for
+// load rather than for one-shot CLI use.
+//
+// The request lifecycle (DESIGN.md §11) is admit → coalesce → decide →
+// execute → respond:
+//
+//   - Admission: a bounded queue in front of a bounded worker pool.
+//     When the queue is full the request is rejected immediately with
+//     429 and a Retry-After hint — the service sheds load instead of
+//     accumulating unbounded goroutines.
+//   - Coalescing: requests are single-flighted on the same canonical
+//     key that backs the runner's plan cache (Spec.PlanKey), so a
+//     thundering herd of identical requests costs one simulation;
+//     completed flights stay memoized (bounded by Config.MaxFlights)
+//     and later identical requests are served from memory.
+//   - Deadlines: every request runs under a context.Context carrying
+//     its deadline (Request.TimeoutMs, else Config.DefaultTimeout).
+//     The context is plumbed through the facade's *Context entry
+//     points down to the simulator's phase boundaries. A waiter that
+//     gives up detaches from its flight; when the last waiter
+//     detaches, the shared computation itself is canceled.
+//   - Isolation: a panicking request is recovered, counted
+//     (service_panics_total) and answered with 500; the daemon stays
+//     up.
+//
+// The package consumes only the public heteropart surface for
+// matchmaking and execution — it is deliberately a client of the API
+// it fronts — plus the internal metrics/telemetry types the facade
+// aliases.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heteropart"
+	"heteropart/internal/metrics"
+	"heteropart/internal/telemetry"
+)
+
+// StatusClientClosedRequest is the (nginx-conventional) status for a
+// request abandoned by its deadline or by the client going away.
+const StatusClientClosedRequest = 499
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds concurrently executing flights (default 4). The
+	// underlying sweep runner is built with the same width, so every
+	// admitted flight can always acquire a runner slot.
+	Workers int
+	// Queue bounds flights admitted but not yet executing (default
+	// 4*Workers). Beyond it requests are rejected with 429.
+	Queue int
+	// DefaultTimeout applies to requests that do not set timeout_ms
+	// (default 2 minutes).
+	DefaultTimeout time.Duration
+	// MaxFlights bounds the memoized completed flights (default 1024);
+	// the oldest completed flights are evicted first.
+	MaxFlights int
+	// Metrics, when non-nil, receives the service_* instruments and is
+	// shared with the runner (runner_*, plan_cache_*).
+	Metrics *metrics.Registry
+	// Spans, when non-nil, receives one KindRequest span per request
+	// plus the sweep/run/plan/execute spans beneath it. The tracer
+	// retains every span in memory; long-running daemons should leave
+	// it nil unless they bound collection themselves.
+	Spans *telemetry.Tracer
+}
+
+// flight is one single-flighted computation. The first request for a
+// key creates it; concurrent identical requests join as waiters and
+// read the identical response. waiters is guarded by Service.mu; the
+// remaining fields are written once before done closes.
+type flight struct {
+	key     string
+	done    chan struct{}
+	resp    *Response
+	err     error
+	cancel  context.CancelFunc
+	waiters int
+}
+
+// Service is the HTTP matchmaking service. Build one with New, mount
+// Handler on a mux, and Close it after the HTTP server has drained.
+type Service struct {
+	cfg    Config
+	runner *heteropart.Runner
+	reg    *metrics.Registry
+	spans  *telemetry.Tracer
+
+	// base is the parent of every flight context; Close cancels it.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	// sem bounds executing flights.
+	sem chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	flights map[string]*flight
+	// order remembers flight keys in creation order for FIFO eviction
+	// of memoized flights (stale keys are skipped).
+	order []string
+
+	queued    atomic.Int64
+	inflightN atomic.Int64
+
+	rejected, coalesceHits, coalesceMisses *metrics.Counter
+	panics, canceled                       *metrics.Counter
+	inflight, queueDepth, flightCount      *metrics.Gauge
+
+	appsJSON, strategiesJSON []byte
+
+	// panicHook, when set (tests only), runs inside the flight worker
+	// to exercise panic isolation.
+	panicHook func()
+}
+
+// New builds a service and its private sweep runner.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Minute
+	}
+	if cfg.MaxFlights <= 0 {
+		cfg.MaxFlights = 1024
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		reg:        cfg.Metrics,
+		spans:      cfg.Spans,
+		base:       base,
+		cancelBase: cancel,
+		sem:        make(chan struct{}, cfg.Workers),
+		flights:    make(map[string]*flight),
+	}
+	s.runner = heteropart.NewRunner(heteropart.RunnerConfig{
+		Workers: cfg.Workers, Metrics: cfg.Metrics, Spans: cfg.Spans,
+	})
+	m := s.reg
+	s.rejected = m.Counter("service_rejected_total", "requests shed with 429 at admission")
+	s.coalesceHits = m.Counter("service_coalesce_hits_total", "requests that joined or recalled an existing flight")
+	s.coalesceMisses = m.Counter("service_coalesce_misses_total", "requests that started a new flight")
+	s.panics = m.Counter("service_panics_total", "request panics recovered by the isolation boundary")
+	s.canceled = m.Counter("service_canceled_total", "requests abandoned by deadline or client disconnect")
+	s.inflight = m.Gauge("service_inflight", "flights currently executing")
+	s.queueDepth = m.Gauge("service_queue_depth", "flights admitted but not yet executing")
+	s.flightCount = m.Gauge("service_flights", "live + memoized flights")
+	s.appsJSON = appsListing()
+	s.strategiesJSON = strategiesListing()
+	return s
+}
+
+// Runner exposes the service's sweep runner (shared plan/result
+// caches) for embedding callers.
+func (s *Service) Runner() *heteropart.Runner { return s.runner }
+
+// Close cancels every remaining flight. Call it after the HTTP server
+// has drained (http.Server.Shutdown), so in-flight requests finish
+// normally and only orphaned computations are torn down.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelBase()
+}
+
+// Handler returns the /v1 API surface.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matchmake", s.wrap("matchmake", s.handleMatchmake))
+	mux.HandleFunc("POST /v1/plan", s.wrap("plan", s.handlePlan))
+	mux.HandleFunc("POST /v1/execute", s.wrap("execute", s.handleExecute))
+	mux.HandleFunc("GET /v1/apps", s.wrap("apps", func(w http.ResponseWriter, r *http.Request) {
+		writeRaw(w, s.appsJSON)
+	}))
+	mux.HandleFunc("GET /v1/strategies", s.wrap("strategies", func(w http.ResponseWriter, r *http.Request) {
+		writeRaw(w, s.strategiesJSON)
+	}))
+	return mux
+}
+
+// Request is the JSON body of the POST endpoints.
+type Request struct {
+	// App names a bundled application (all POST endpoints).
+	App string `json:"app,omitempty"`
+	// Structure, on /v1/matchmake, asks for analysis of a parsed
+	// kernel structure instead of a bundled app: classification and
+	// Table-I ranking only, no execution.
+	Structure string `json:"structure,omitempty"`
+	// Strategy forces a strategy; empty lets the analyzer matchmake.
+	Strategy string `json:"strategy,omitempty"`
+	// N and Iters parameterize the problem (0 = paper default).
+	N     int64 `json:"n,omitempty"`
+	Iters int   `json:"iters,omitempty"`
+	// Sync is "default", "forced" or "none".
+	Sync string `json:"sync,omitempty"`
+	// Threads is the CPU worker-thread count m of the paper platform
+	// (0 = all 12).
+	Threads int `json:"threads,omitempty"`
+	// Chunks is the dynamic task count (0 = platform thread count).
+	Chunks int `json:"chunks,omitempty"`
+	// NoSeed keeps DP-Perf's profiling inside the measurement.
+	NoSeed bool `json:"noseed,omitempty"`
+	// TimeoutMs overrides the service's default request deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Plan, on /v1/execute, is the serialized ExecutionPlan to replay.
+	Plan json.RawMessage `json:"plan,omitempty"`
+}
+
+// ReportView is the analyzer's decision, rendered for the wire.
+type ReportView struct {
+	App       string   `json:"app"`
+	Class     string   `json:"class"`
+	NeedsSync bool     `json:"needs_sync"`
+	Ranked    []string `json:"ranked"`
+	Best      string   `json:"best"`
+}
+
+// OutcomeView summarizes a measured execution.
+type OutcomeView struct {
+	Strategy   string  `json:"strategy"`
+	MakespanNs int64   `json:"makespan_ns"`
+	GPURatio   float64 `json:"gpu_ratio"`
+	HtoDBytes  int64   `json:"htod_bytes"`
+	DtoHBytes  int64   `json:"dtoh_bytes"`
+	Transfers  int     `json:"transfers"`
+	Instances  int     `json:"instances"`
+	Decisions  int     `json:"decisions"`
+}
+
+// Response is the JSON body of a successful POST request. Coalesced
+// waiters share one Response value, so it is immutable once built.
+type Response struct {
+	Report  *ReportView     `json:"report,omitempty"`
+	Plan    json.RawMessage `json:"plan,omitempty"`
+	Outcome *OutcomeView    `json:"outcome,omitempty"`
+}
+
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// httpErr carries a status decided at validation time.
+type httpErr struct {
+	status int
+	msg    string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpErr {
+	return &httpErr{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusFor maps the facade's sentinel errors to HTTP statuses:
+// unknown app/strategy → 404, invalid plan → 400, platform mismatch →
+// 409, abandoned by context → 499, anything else → 500.
+func statusFor(err error) int {
+	var he *httpErr
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, heteropart.ErrUnknownApp),
+		errors.Is(err, heteropart.ErrUnknownStrategy):
+		return http.StatusNotFound
+	case errors.Is(err, heteropart.ErrPlanInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, heteropart.ErrPlatformMismatch):
+		return http.StatusConflict
+	case errors.Is(err, heteropart.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ---- request handling -------------------------------------------------
+
+func decodeRequest(r *http.Request) (*Request, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	req := &Request{}
+	if err := dec.Decode(req); err != nil {
+		return nil, badRequest("service: decode request: %v", err)
+	}
+	return req, nil
+}
+
+func parseSync(s string) (heteropart.SyncMode, error) {
+	switch s {
+	case "", "default":
+		return heteropart.SyncDefault, nil
+	case "forced":
+		return heteropart.SyncForced, nil
+	case "none":
+		return heteropart.SyncNone, nil
+	default:
+		return heteropart.SyncDefault, badRequest("service: unknown sync mode %q (want default, forced or none)", s)
+	}
+}
+
+// specOf validates a request and turns it into a RunSpec. The platform
+// is always the paper platform (parameterized by thread count): the
+// service models the testbed, not arbitrary hardware.
+func (s *Service) specOf(req *Request) (heteropart.RunSpec, error) {
+	if req.App == "" {
+		return heteropart.RunSpec{}, badRequest("service: missing app")
+	}
+	if req.N < 0 || req.Iters < 0 || req.Chunks < 0 || req.TimeoutMs < 0 {
+		return heteropart.RunSpec{}, badRequest("service: n, iters, chunks and timeout_ms must be non-negative")
+	}
+	if req.Threads < 0 || req.Threads > 1024 {
+		return heteropart.RunSpec{}, badRequest("service: threads must be in [0, 1024]")
+	}
+	if req.Chunks > 1<<16 {
+		return heteropart.RunSpec{}, badRequest("service: chunks must be at most %d", 1<<16)
+	}
+	sync, err := parseSync(req.Sync)
+	if err != nil {
+		return heteropart.RunSpec{}, err
+	}
+	return heteropart.RunSpec{
+		App:      req.App,
+		Strategy: req.Strategy,
+		Sync:     sync,
+		N:        req.N,
+		Iters:    req.Iters,
+		Plat:     heteropart.PaperPlatform(req.Threads),
+		Chunks:   req.Chunks,
+		NoSeed:   req.NoSeed,
+	}, nil
+}
+
+// flightKey is the coalescing key: the runner's plan-cache key
+// (decision inputs only) prefixed by the endpoint, so a matchmake and
+// a plan request for the same spec never share a response shape.
+// Matchmade specs use the "(matchmake)" placeholder — the analyzer's
+// pick is not known before the flight runs, and the placeholder is
+// deterministic for the same inputs, which is all coalescing needs.
+func flightKey(mode string, spec heteropart.RunSpec) string {
+	resolved := spec.Strategy
+	if resolved == "" {
+		resolved = "(matchmake)"
+	}
+	return mode + "|" + spec.PlanKey(resolved)
+}
+
+func (s *Service) handleMatchmake(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Structure != "" {
+		if req.App != "" {
+			writeError(w, badRequest("service: app and structure are mutually exclusive"))
+			return
+		}
+		s.analyzeStructure(w, req)
+		return
+	}
+	spec, err := s.specOf(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serve(w, r, req, flightKey("matchmake", spec), func(ctx context.Context) (*Response, error) {
+		res, err := s.runner.RunContext(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		return responseOf(res.Report, res.Plan, res.Outcome), nil
+	})
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec, err := s.specOf(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serve(w, r, req, flightKey("plan", spec), func(ctx context.Context) (*Response, error) {
+		pl, rep, err := s.runner.PlanContext(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		return responseOf(rep, pl, nil), nil
+	})
+}
+
+func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Plan) == 0 {
+		writeError(w, badRequest("service: missing plan"))
+		return
+	}
+	pl, err := heteropart.PlanFromJSON(req.Plan)
+	if err != nil {
+		writeError(w, err) // wraps ErrPlanInvalid → 400
+		return
+	}
+	if req.App != "" && req.App != pl.App {
+		writeError(w, badRequest("service: request app %q does not match plan app %q", req.App, pl.App))
+		return
+	}
+	if req.N != 0 && req.N != pl.N {
+		writeError(w, badRequest("service: request n %d does not match plan n %d", req.N, pl.N))
+		return
+	}
+	sync, err := parseSync(req.Sync)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Threads < 0 || req.Threads > 1024 {
+		writeError(w, badRequest("service: threads must be in [0, 1024]"))
+		return
+	}
+	plat := heteropart.PaperPlatform(req.Threads)
+	// The coalescing key hashes the plan's canonical encoding plus
+	// everything else that shapes the execution.
+	canonical, err := pl.JSON()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sum := sha256.Sum256(append(canonical,
+		[]byte(fmt.Sprintf("|sync=%d|plat=%s", int(sync), heteropart.PlatformFingerprint(plat)))...))
+	key := "execute|" + hex.EncodeToString(sum[:])
+	s.serve(w, r, req, key, func(ctx context.Context) (*Response, error) {
+		app, err := heteropart.AppByName(pl.App)
+		if err != nil {
+			return nil, err
+		}
+		p, err := app.Build(heteropart.Variant{
+			N: pl.N, Iters: pl.Iters, Sync: sync,
+			Spaces: 1 + len(plat.Accels),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out, err := heteropart.ExecutePlanContext(ctx, pl, p, plat, heteropart.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return responseOf(nil, pl, out), nil
+	})
+}
+
+// analyzeStructure serves the structure-only matchmake path inline:
+// parsing and classification are pure and fast, so they bypass
+// admission and coalescing entirely.
+func (s *Service) analyzeStructure(w http.ResponseWriter, req *Request) {
+	st, err := heteropart.ParseStructure(req.Structure)
+	if err != nil {
+		writeError(w, badRequest("service: parse structure: %v", err))
+		return
+	}
+	cls, err := heteropart.Classify(st)
+	if err != nil {
+		writeError(w, badRequest("service: classify: %v", err))
+		return
+	}
+	ranked := heteropart.Ranking(cls, st.InterKernelSync)
+	if len(ranked) == 0 {
+		writeError(w, fmt.Errorf("service: no strategy for class %v", cls))
+		return
+	}
+	writeJSON(w, http.StatusOK, &Response{Report: &ReportView{
+		App:       "(structure)",
+		Class:     cls.String(),
+		NeedsSync: st.InterKernelSync,
+		Ranked:    ranked,
+		Best:      ranked[0],
+	}})
+}
+
+// ---- flight machinery -------------------------------------------------
+
+// serve runs one coalescible request end to end: derive the deadline
+// context, admit or join a flight, await it, map the outcome.
+func (s *Service) serve(w http.ResponseWriter, r *http.Request, req *Request,
+	key string, work func(context.Context) (*Response, error)) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	fl, joined, status := s.getFlight(key, work)
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeError(w, &httpErr{status: status, msg: "service: at capacity, retry later"})
+		return
+	case http.StatusServiceUnavailable:
+		writeError(w, &httpErr{status: status, msg: "service: shutting down"})
+		return
+	}
+	w.Header().Set("X-Heteropart-Coalesced", strconv.FormatBool(joined))
+
+	resp, err := s.await(ctx, fl)
+	if err != nil {
+		if statusFor(err) == StatusClientClosedRequest {
+			s.canceled.Inc()
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// getFlight joins an existing flight for key or admits a new one.
+// status is 0 on success, 429 when the queue is full, 503 when the
+// service is closed.
+func (s *Service) getFlight(key string, work func(context.Context) (*Response, error)) (fl *flight, joined bool, status int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, http.StatusServiceUnavailable
+	}
+	if fl, ok := s.flights[key]; ok {
+		fl.waiters++
+		s.mu.Unlock()
+		s.coalesceHits.Inc()
+		return fl, true, 0
+	}
+	if int(s.queued.Load()) >= s.cfg.Queue {
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, false, http.StatusTooManyRequests
+	}
+	fctx, cancel := context.WithCancel(s.base)
+	fl = &flight{key: key, done: make(chan struct{}), cancel: cancel, waiters: 1}
+	s.flights[key] = fl
+	s.order = append(s.order, key)
+	s.evictLocked()
+	s.flightCount.SetInt(int64(len(s.flights)))
+	s.mu.Unlock()
+	s.coalesceMisses.Inc()
+	s.queueDepth.SetInt(s.queued.Add(1))
+	go s.runFlight(fctx, fl, work)
+	return fl, false, 0
+}
+
+// runFlight executes one flight inside a worker slot, with panic
+// isolation. Failed or canceled flights are forgotten so a later
+// identical request recomputes; successful flights stay memoized.
+func (s *Service) runFlight(ctx context.Context, fl *flight, work func(context.Context) (*Response, error)) {
+	defer close(fl.done)
+	defer fl.cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			fl.err = fmt.Errorf("service: recovered panic: %v", r)
+			s.forget(fl)
+		}
+	}()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.queueDepth.SetInt(s.queued.Add(-1))
+		fl.err = fmt.Errorf("service: abandoned while queued: %w", heteropart.ErrCanceled)
+		s.forget(fl)
+		return
+	}
+	s.queueDepth.SetInt(s.queued.Add(-1))
+	defer func() { <-s.sem }()
+	s.inflight.SetInt(s.inflightN.Add(1))
+	defer func() { s.inflight.SetInt(s.inflightN.Add(-1)) }()
+	if hook := s.panicHook; hook != nil {
+		hook()
+	}
+	fl.resp, fl.err = work(ctx)
+	if fl.err != nil {
+		s.forget(fl)
+	}
+}
+
+// await blocks until the flight completes or the request's context
+// expires. An abandoning waiter detaches; the last waiter to detach
+// cancels the shared computation (nobody wants its result anymore).
+func (s *Service) await(ctx context.Context, fl *flight) (*Response, error) {
+	select {
+	case <-fl.done:
+		s.detach(fl, false)
+		return fl.resp, fl.err
+	case <-ctx.Done():
+		s.detach(fl, true)
+		return nil, fmt.Errorf("service: request abandoned (%v): %w", ctx.Err(), heteropart.ErrCanceled)
+	}
+}
+
+func (s *Service) detach(fl *flight, abandoned bool) {
+	s.mu.Lock()
+	fl.waiters--
+	last := fl.waiters == 0
+	s.mu.Unlock()
+	if abandoned && last {
+		fl.cancel()
+	}
+}
+
+// forget drops a flight from the memo map (failures are never served
+// from memory). Callers hold no lock.
+func (s *Service) forget(fl *flight) {
+	s.mu.Lock()
+	if s.flights[fl.key] == fl {
+		delete(s.flights, fl.key)
+	}
+	s.flightCount.SetInt(int64(len(s.flights)))
+	s.mu.Unlock()
+}
+
+// evictLocked trims memoized flights beyond MaxFlights, oldest first,
+// skipping flights still running (their done channel is open). Caller
+// holds s.mu.
+func (s *Service) evictLocked() {
+	for len(s.flights) > s.cfg.MaxFlights && len(s.order) > 0 {
+		key := s.order[0]
+		s.order = s.order[1:]
+		fl, ok := s.flights[key]
+		if !ok {
+			continue // already forgotten
+		}
+		select {
+		case <-fl.done:
+			delete(s.flights, key)
+		default:
+			s.order = append(s.order, key) // still running; retry later
+			return
+		}
+	}
+}
+
+// retryAfter estimates (in whole seconds) when the queue may have
+// room: one second of slack per queued batch of workers.
+func (s *Service) retryAfter() int {
+	q := int(s.queued.Load())
+	return 1 + q/s.cfg.Workers
+}
+
+// ---- response rendering -----------------------------------------------
+
+func responseOf(rep *heteropart.Report, pl *heteropart.ExecutionPlan, out *heteropart.Outcome) *Response {
+	resp := &Response{}
+	if rep != nil {
+		resp.Report = &ReportView{
+			App:       rep.App,
+			Class:     rep.Class.String(),
+			NeedsSync: rep.NeedsSync,
+			Ranked:    rep.Ranked,
+			Best:      rep.Best,
+		}
+	}
+	if pl != nil {
+		if b, err := pl.JSON(); err == nil {
+			resp.Plan = b
+		}
+	}
+	if out != nil && out.Result != nil {
+		res := out.Result
+		resp.Outcome = &OutcomeView{
+			Strategy:   out.Strategy,
+			MakespanNs: int64(res.Makespan),
+			GPURatio:   res.GPURatio(),
+			HtoDBytes:  res.HtoDBytes,
+			DtoHBytes:  res.DtoHBytes,
+			Transfers:  res.TransferCount,
+			Instances:  res.Instances,
+			Decisions:  res.Decisions,
+		}
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, fmt.Errorf("service: encode response: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func writeRaw(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	b, _ := json.Marshal(errorBody{Error: err.Error(), Status: status})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// ---- instrumentation --------------------------------------------------
+
+// statusRecorder remembers the response status for metrics and spans.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(c int) {
+	if !r.wrote {
+		r.code, r.wrote = c, true
+	}
+	r.ResponseWriter.WriteHeader(c)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// wrap adds per-endpoint metrics, a KindRequest span, and the
+// outermost panic boundary around a handler.
+func (s *Service) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter(
+		metrics.Label("service_requests_total", "endpoint", endpoint),
+		"requests received per endpoint")
+	lat := s.reg.Histogram(
+		metrics.Label("service_request_ns", "endpoint", endpoint),
+		"wall-clock request latency per endpoint")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		span := s.spans.Begin(0, telemetry.KindRequest, endpoint)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				if !rec.wrote {
+					writeError(rec, fmt.Errorf("service: recovered panic: %v", p))
+				}
+			}
+			lat.Observe(time.Since(start).Nanoseconds())
+			s.reg.Counter(
+				metrics.Label("service_responses_total", "code", strconv.Itoa(rec.code)),
+				"responses sent per status code").Inc()
+			s.spans.Annotate(span, "status", strconv.Itoa(rec.code))
+			s.spans.End(span)
+		}()
+		h(rec, r)
+	}
+}
+
+// ---- static listings --------------------------------------------------
+
+// AppView is one entry of GET /v1/apps.
+type AppView struct {
+	Name         string `json:"name"`
+	DefaultN     int64  `json:"default_n"`
+	DefaultIters int    `json:"default_iters"`
+	Class        string `json:"class,omitempty"`
+	NeedsSync    bool   `json:"needs_sync,omitempty"`
+	Best         string `json:"best,omitempty"`
+}
+
+// StrategyView is one entry of GET /v1/strategies.
+type StrategyView struct {
+	Name    string   `json:"name"`
+	Classes []string `json:"classes"`
+}
+
+// appsListing renders the bundled applications once at startup; the
+// registry is immutable, so the bytes never change.
+func appsListing() []byte {
+	var views []AppView
+	for _, a := range heteropart.Apps() {
+		v := AppView{Name: a.Name(), DefaultN: a.DefaultN(), DefaultIters: a.DefaultIters()}
+		if p, err := a.Build(heteropart.Variant{}); err == nil {
+			if rep, err := heteropart.Analyze(p); err == nil {
+				v.Class = rep.Class.String()
+				v.NeedsSync = rep.NeedsSync
+				v.Best = rep.Best
+			}
+		}
+		views = append(views, v)
+	}
+	b, _ := json.Marshal(views)
+	return append(b, '\n')
+}
+
+func strategiesListing() []byte {
+	classes := []heteropart.Class{
+		heteropart.SKOne, heteropart.SKLoop,
+		heteropart.MKSeq, heteropart.MKLoop, heteropart.MKDAG,
+	}
+	var views []StrategyView
+	for _, st := range heteropart.Strategies() {
+		v := StrategyView{Name: st.Name(), Classes: []string{}}
+		for _, cls := range classes {
+			if st.Applicable(cls, false) || st.Applicable(cls, true) {
+				v.Classes = append(v.Classes, cls.String())
+			}
+		}
+		views = append(views, v)
+	}
+	b, _ := json.Marshal(views)
+	return append(b, '\n')
+}

@@ -15,9 +15,11 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"heteropart/internal/apierr"
 	"heteropart/internal/apps"
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
@@ -61,6 +63,14 @@ type Options struct {
 	// SpanParent is the span the strategy's spans attach to (normally
 	// the runner's run span; 0 makes them roots).
 	SpanParent telemetry.SpanID
+
+	// ctx is the execution's cancellation context, set by the *Context
+	// entry points (ExecuteContext, RunContext) and threaded into the
+	// runtime's phase-boundary checks. It stays unexported so the
+	// public Options surface has exactly one way to pass a context —
+	// the *Context functions — and the context-free paths stay
+	// byte-identical wrappers over them.
+	ctx context.Context
 }
 
 func (o Options) chunks(plat *device.Platform) int {
@@ -149,9 +159,9 @@ func ByName(name string) (Strategy, error) {
 		known[i] = s.Name()
 	}
 	if sug := names.Closest(name, known); sug != "" {
-		return nil, fmt.Errorf("strategy: unknown strategy %q (did you mean %q?)", name, sug)
+		return nil, fmt.Errorf("strategy: %w %q (did you mean %q?)", apierr.ErrUnknownStrategy, name, sug)
 	}
-	return nil, fmt.Errorf("strategy: unknown strategy %q", name)
+	return nil, fmt.Errorf("strategy: %w %q", apierr.ErrUnknownStrategy, name)
 }
 
 // Execute carries out a decided plan on the platform: it validates the
@@ -161,9 +171,22 @@ func ByName(name string) (Strategy, error) {
 // a plan reproduces the run that decided it exactly: the simulator is
 // deterministic and the plan pins the whole decision surface.
 func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return ExecuteContext(context.Background(), pl, p, plat, opts)
+}
+
+// ExecuteContext is Execute with a cancellation context: the context
+// is checked before the training pass and cooperatively at the
+// runtime's phase boundaries; a canceled run returns an error wrapping
+// apierr.ErrCanceled. With a background context the behaviour — and
+// the measured result — is byte-identical to Execute.
+func ExecuteContext(ctx context.Context, pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
 	if pl == nil {
-		return nil, fmt.Errorf("strategy: nil plan")
+		return nil, fmt.Errorf("strategy: nil plan: %w", apierr.ErrPlanInvalid)
 	}
+	if err := apierr.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("strategy %s on %s: %w", pl.Strategy, pl.App, err)
+	}
+	opts.ctx = ctx
 	execSpan := opts.Spans.Begin(opts.SpanParent, telemetry.KindExecute, pl.Strategy)
 	defer opts.Spans.End(execSpan)
 	if err := pl.CheckPlatform(plat); err != nil {
@@ -193,7 +216,7 @@ func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opt
 				opts.Spans.End(trainSpan)
 				return nil, err
 			}
-			if _, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer}, trainPlan, p.Dir); err != nil {
+			if _, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer, Ctx: opts.ctx}, trainPlan, p.Dir); err != nil {
 				opts.Spans.End(trainSpan)
 				return nil, err
 			}
@@ -230,6 +253,18 @@ func Execute(pl *plan.ExecutionPlan, p *apps.Problem, plat *device.Platform, opt
 // steps get sibling plan / execute spans, so decide-vs-execute cost
 // is directly readable off the span tree.
 func runPlanned(s Strategy, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	return RunContext(context.Background(), s, p, plat, opts)
+}
+
+// RunContext runs a strategy end to end — Plan followed by
+// ExecuteContext — under a cancellation context. Deciding itself is
+// not interruptible (Glinda profiling is short relative to measured
+// runs); the context gates entry and the whole execution. With a
+// background context the result is byte-identical to Strategy.Run.
+func RunContext(ctx context.Context, s Strategy, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
+	if err := apierr.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("strategy %s on %s: %w", s.Name(), p.AppName, err)
+	}
 	planSpan := opts.Spans.Begin(opts.SpanParent, telemetry.KindPlan, "plan "+s.Name())
 	planOpts := opts
 	if planSpan != 0 {
@@ -240,7 +275,7 @@ func runPlanned(s Strategy, p *apps.Problem, plat *device.Platform, opts Options
 	if err != nil {
 		return nil, err
 	}
-	return Execute(pl, p, plat, opts)
+	return ExecuteContext(ctx, pl, p, plat, opts)
 }
 
 // newPlan assembles the plan envelope around decided phases.
@@ -273,6 +308,7 @@ func execute(name string, p *apps.Problem, plat *device.Platform, s sched.Schedu
 	res, err := rt.Execute(rt.Config{
 		Platform:   plat,
 		Scheduler:  s,
+		Ctx:        opts.ctx,
 		Trace:      tr,
 		Metrics:    opts.Metrics,
 		Spans:      opts.Spans,

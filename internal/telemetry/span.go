@@ -64,11 +64,14 @@ const (
 	// KindWarmup covers DP-Perf's in-run profiling gate, from the
 	// first ready instance to the first rate-based placement.
 	KindWarmup
+	// KindRequest covers one HTTP request into the matchmaking
+	// service, from admission to response.
+	KindRequest
 )
 
 var kindNames = [...]string{
 	"sweep", "run", "plan", "execute", "train", "phase", "chunk",
-	"transfer", "decide", "barrier", "profile", "warmup",
+	"transfer", "decide", "barrier", "profile", "warmup", "request",
 }
 
 // String names the kind as exported span dumps do.
