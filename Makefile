@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean api service-load
+.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean api service-load fuzz chaos
 
 # Pinned staticcheck version; CI installs exactly this.
 STATICCHECK_VERSION = 2024.1.1
@@ -50,8 +50,23 @@ api:
 service-load:
 	$(GO) test -short -run TestServiceLoad -count=1 ./internal/service
 
+# Short coverage-guided fuzz sessions over the decode boundaries
+# (native Go fuzzing; crashers land in testdata/fuzz/ as regression
+# corpus entries — commit them).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzPlanFromJSON -fuzztime $(FUZZTIME) -run '^$$' ./internal/plan
+	$(GO) test -fuzz FuzzServiceRequest -fuzztime $(FUZZTIME) -run '^$$' ./internal/service
+
+# The chaos/property harness: fault-injection determinism matrix,
+# monotonic degradation, cache isolation, device-loss replan, the
+# service fault surface, and the registry-suggestion properties.
+chaos:
+	$(GO) test -run 'TestChaos|TestService(FaultGate|ChaosCoalescedFailure|FaultedMatchmakeRecovers)|TestClosestProperties' -count=1 \
+		./internal/runner ./internal/service ./internal/names
+
 # Everything a change must pass before merging.
-check: build vet lint test race service-load bench-report
+check: build vet lint test race service-load chaos fuzz bench-report
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,6 +8,10 @@
 // SIGINT/SIGTERM drains: the listener closes, in-flight requests get
 // up to -drain to finish, then remaining flights are canceled.
 //
+// Requests may carry a "fault" schedule (deterministic chaos testing,
+// DESIGN.md §12) only when the daemon was started with -allow-faults;
+// otherwise such requests are rejected with 400.
+//
 // With -loadtest the daemon instead serves itself: it binds an
 // ephemeral loopback port, fans -clients concurrent clients over a
 // small mix of matchmake requests, honours 429 backpressure, and
@@ -43,6 +47,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 		spans    = flag.Bool("spans", false, "record request/run spans (unbounded memory; debugging only)")
+		faults   = flag.Bool("allow-faults", false, "admit requests carrying a fault schedule (chaos testing; see DESIGN.md §12)")
 		loadtest = flag.Bool("loadtest", false, "run the self-load test instead of serving")
 		clients  = flag.Int("clients", 64, "loadtest: concurrent clients")
 		requests = flag.Int("requests", 256, "loadtest: total requests")
@@ -56,7 +61,7 @@ func main() {
 	}
 	svc := service.New(service.Config{
 		Workers: *workers, Queue: *queue, DefaultTimeout: *timeout,
-		Metrics: reg, Spans: tracer,
+		Metrics: reg, Spans: tracer, AllowFaults: *faults,
 	})
 
 	if *loadtest {

@@ -25,6 +25,16 @@
 //	hetsim -app BlackScholes -strategy SP-Single -plan-out plan.json
 //	hetsim -plan-in plan.json
 //
+// Chaos: -fault-in injects a deterministic fault schedule (JSON, see
+// DESIGN.md §12) into the run — the same schedule and seed always
+// reproduce the same outcome, and a flight bundle's "faults" section
+// is exactly this artifact. Injected device losses recover by
+// replanning on the surviving devices and are reported as
+// degradations. -fault-out re-writes the validated schedule:
+//
+//	hetsim -app MatrixMul -strategy SP-Single -fault-in faults.json
+//	hetsim -app MatrixMul -strategy SP-Single -fault-in faults.json -record-out runs/
+//
 // Observability: -record-out saves the run as a flight-recorder
 // bundle (spec, resolved plan, platform fingerprint, metrics, span
 // tree, utilization), -record-diff compares two bundles, and -serve
@@ -70,6 +80,8 @@ func main() {
 		serveAddr = flag.String("serve", "", "after the run, serve live telemetry (/metrics, /healthz, /spans, /runs, /debug/pprof) on this address")
 		recordOut = flag.String("record-out", "", "write a flight-recorder bundle of the run into this directory (implies trace, metrics and span collection)")
 		recordIn  = flag.String("record-diff", "", "compare this flight-recorder bundle against the one named by the next argument, then exit")
+		faultIn   = flag.String("fault-in", "", "inject the fault schedule (JSON) from this file into the run; injection is deterministic, and device losses recover by replanning on the survivors (DESIGN.md §12)")
+		faultOut  = flag.String("fault-out", "", "write the run's validated fault schedule (stable JSON) to this file — the exact artifact -fault-in replays")
 	)
 	flag.Parse()
 	if *recordIn != "" {
@@ -119,12 +131,36 @@ func main() {
 		fatal(fmt.Errorf("unknown -sync %q", *syncMode))
 	}
 
+	var sched *heteropart.FaultSchedule
+	if *faultIn != "" {
+		data, err := os.ReadFile(*faultIn)
+		fatal(err)
+		sched, err = heteropart.FaultScheduleFromJSON(data)
+		fatal(err)
+		if loaded != nil {
+			fatal(fmt.Errorf("-fault-in cannot combine with -plan-in: a faulted run may replan after a device loss, which replaying a saved plan forbids"))
+		}
+	}
+	if *faultOut != "" && sched == nil {
+		fatal(fmt.Errorf("-fault-out needs -fault-in: this run has no schedule to write"))
+	}
+	writeFaultOut := func() {
+		if *faultOut == "" {
+			return
+		}
+		data, err := sched.JSON()
+		fatal(err)
+		fatal(os.WriteFile(*faultOut, data, 0o644))
+		fmt.Printf("fault schedule written to %s\n", *faultOut)
+	}
+
 	plat := heteropart.PaperPlatform(*m)
 	if *sweep {
 		if *recordOut != "" {
 			fatal(fmt.Errorf("-record-out records a single run and cannot combine with -sweep"))
 		}
-		runSweep(plat, sync, *appName, *stratName, *sizes, *n, *iters, *chunks, *compute, *parallel, *showMx, *serveAddr)
+		runSweep(plat, sync, *appName, *stratName, *sizes, *n, *iters, *chunks, *compute, *parallel, *showMx, *serveAddr, sched)
+		writeFaultOut()
 		return
 	}
 	app, err := heteropart.AppByName(*appName)
@@ -150,19 +186,46 @@ func main() {
 		Spans:        tracer,
 	}
 	pl := loaded
-	if pl == nil {
-		strat, err := heteropart.StrategyByName(*stratName)
-		fatal(err)
-		pl, err = strat.Plan(problem, plat, opts)
-		fatal(err)
-	}
-	if *planOut != "" {
+	verify := problem.Verify
+	writePlanOut := func(pl *heteropart.ExecutionPlan) {
+		if *planOut == "" {
+			return
+		}
 		data, err := pl.JSON()
 		fatal(err)
 		fatal(os.WriteFile(*planOut, data, 0o644))
 	}
-	out, err := heteropart.ExecutePlan(pl, problem, plat, opts)
-	fatal(err)
+	var out *heteropart.Outcome
+	if sched != nil {
+		// Faulted runs go through the sweep runner: its execution path
+		// owns the device-loss recovery policy (replan on survivors),
+		// so an injected loss degrades the run instead of killing it.
+		r := heteropart.NewRunner(heteropart.RunnerConfig{Workers: 1, Spans: tracer})
+		res, err := r.Run(heteropart.RunSpec{
+			App: *appName, Strategy: *stratName, Sync: sync, N: *n, Iters: *iters,
+			Plat: plat, Chunks: *chunks, Compute: *compute,
+			CollectTrace: opts.CollectTrace, WithMetrics: reg != nil,
+			Fault: sched,
+		})
+		fatal(err)
+		out, pl, verify = res.Outcome, res.Plan, res.Verify
+		if res.Metrics != nil {
+			reg = res.Metrics
+		}
+		// The executed plan is only known after a faulted run (a
+		// device loss replans), so -plan-out writes afterwards here.
+		writePlanOut(pl)
+	} else {
+		if pl == nil {
+			strat, err := heteropart.StrategyByName(*stratName)
+			fatal(err)
+			pl, err = strat.Plan(problem, plat, opts)
+			fatal(err)
+		}
+		writePlanOut(pl)
+		out, err = heteropart.ExecutePlan(pl, problem, plat, opts)
+		fatal(err)
+	}
 
 	fmt.Printf("%s on %s (%s)\n", out.Strategy, *appName, plat)
 	fmt.Printf("  makespan:   %.3f ms\n", out.Result.Makespan.Milliseconds())
@@ -197,10 +260,17 @@ func main() {
 				label, d.Config, d.Beta, d.NG, d.NC, d.R, d.G)
 		}
 	}
+	if len(out.Degradations) > 0 {
+		fmt.Println("  degradations:")
+		for _, d := range out.Degradations {
+			fmt.Printf("    device %d lost at %.3f ms (attempt %d): replanned %s on %d accelerator(s)\n",
+				d.LostDevice, float64(d.AtNs)/1e6, d.Attempt, d.Replanned, d.RemainingAccels)
+		}
+	}
 	if *compute {
-		if problem.Verify == nil {
+		if verify == nil {
 			fmt.Println("  verify:     (timing-only problem)")
-		} else if err := problem.Verify(); err != nil {
+		} else if err := verify(); err != nil {
 			fatal(fmt.Errorf("verification failed: %w", err))
 		} else {
 			fmt.Println("  verify:     OK (matches sequential reference)")
@@ -233,6 +303,7 @@ func main() {
 	if *planOut != "" {
 		fmt.Printf("plan written to %s\n", *planOut)
 	}
+	writeFaultOut()
 	if *showMx {
 		fmt.Println("metrics:")
 		fmt.Print(reg.Text(out.Result.Makespan))
@@ -281,7 +352,8 @@ func diffBundles(pathA, pathB string) {
 // runner and prints one row per run, in spec order.
 func runSweep(plat *heteropart.Platform, sync heteropart.SyncMode,
 	appName, stratCSV, sizesCSV string, n int64, iters, chunks int,
-	compute bool, parallel int, showMx bool, serveAddr string) {
+	compute bool, parallel int, showMx bool, serveAddr string,
+	sched *heteropart.FaultSchedule) {
 	var strats []string
 	if stratCSV == "" {
 		for _, s := range heteropart.Strategies() {
@@ -313,7 +385,7 @@ func runSweep(plat *heteropart.Platform, sync heteropart.SyncMode,
 		for _, s := range strats {
 			specs = append(specs, heteropart.RunSpec{
 				App: appName, Strategy: s, Sync: sync, N: nn, Iters: iters,
-				Chunks: chunks, Compute: compute, Plat: plat,
+				Chunks: chunks, Compute: compute, Plat: plat, Fault: sched,
 			})
 		}
 	}

@@ -44,6 +44,7 @@ import (
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
 	"heteropart/internal/exp"
+	"heteropart/internal/fault"
 	"heteropart/internal/glinda"
 	"heteropart/internal/mem"
 	"heteropart/internal/metrics"
@@ -295,6 +296,14 @@ var (
 	// ErrNilOutcome: RecordRun was handed an outcome with no execution
 	// result.
 	ErrNilOutcome = apierr.ErrNilOutcome
+	// ErrFaultInvalid: a FaultSchedule failed validation or decoding.
+	ErrFaultInvalid = apierr.ErrFaultInvalid
+	// ErrFaultInjected: a run was halted by an injected fault (crash,
+	// transfer failure or device loss).
+	ErrFaultInjected = apierr.ErrFaultInjected
+	// ErrDeviceLost: an injected device-loss fault removed a device
+	// mid-run. Errors matching it also match ErrFaultInjected.
+	ErrDeviceLost = apierr.ErrDeviceLost
 )
 
 // Matchmake analyzes a problem, then runs the selected strategy on the
@@ -413,9 +422,16 @@ func RecordRun(appName string, out *Outcome, pl *ExecutionPlan, plat *Platform,
 		s := reg.Snapshot(makespan)
 		snap = &s
 	}
-	return flight.Record(appName, out.Strategy, appName+"/"+out.Strategy,
+	b, err := flight.Record(appName, out.Strategy, appName+"/"+out.Strategy,
 		plan.Fingerprint(plat), int64(makespan), pl, snap, tr,
 		out.Trace.Utilization(makespan))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.AttachFaults(out.Faults, out.Degradations); err != nil {
+		return nil, fmt.Errorf("heteropart: RecordRun(%s/%s): %w", appName, out.Strategy, err)
+	}
+	return b, nil
 }
 
 // ParseBundleFile reads a recorded flight bundle.
@@ -424,6 +440,25 @@ func ParseBundleFile(path string) (*FlightBundle, error) { return flight.ParseFi
 // DiffBundles compares two recordings section by section; identical
 // runs (including any bundle against itself) diff to nothing.
 func DiffBundles(a, b *FlightBundle) []string { return flight.Diff(a, b) }
+
+// Fault injection: deterministic, serializable failure schedules
+// (DESIGN.md §12).
+type (
+	// FaultSchedule is a versioned, serializable description of the
+	// faults to inject into one run. The same (spec, schedule) pair
+	// always reproduces the same outcome — injection draws all its
+	// randomness from the schedule's seed, never from a global source.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one fault in a schedule.
+	FaultEvent = fault.Fault
+	// Degradation records one survived device loss: which device died,
+	// when, and what the recovery replan produced.
+	Degradation = fault.Degradation
+)
+
+// FaultScheduleFromJSON decodes and validates a serialized
+// FaultSchedule; failures wrap ErrFaultInvalid.
+func FaultScheduleFromJSON(data []byte) (*FaultSchedule, error) { return fault.FromJSON(data) }
 
 // NewExpEnv builds an experiment environment whose internal sweeps
 // shard over a pool of the given width (workers <= 1 is sequential).

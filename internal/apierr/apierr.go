@@ -38,6 +38,18 @@ var (
 	// ErrNilOutcome reports an outcome with no execution result where
 	// one is required (heteropart.RecordRun).
 	ErrNilOutcome = errors.New("outcome has no result")
+	// ErrFaultInvalid reports a FaultSchedule that fails decoding or
+	// validation (fault.FromJSON, fault.Schedule.Validate).
+	ErrFaultInvalid = errors.New("invalid fault schedule")
+	// ErrFaultInjected reports a run halted by an injected fault
+	// (chunk crash, transfer failure, device loss). Every injected
+	// failure matches it; use ErrDeviceLost to distinguish losses.
+	ErrFaultInjected = errors.New("fault injected")
+	// ErrDeviceLost reports a run halted because an injected fault
+	// removed a device mid-execution. It always also matches
+	// ErrFaultInjected; the strategy layer answers it with a bounded
+	// replan on the surviving devices.
+	ErrDeviceLost = errors.New("device lost")
 )
 
 // canceledError couples ErrCanceled with the context's own error, so

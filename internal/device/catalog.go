@@ -186,6 +186,30 @@ func (p *Platform) LinkOf(id int) Link {
 // CPUThreads reports the number of host worker threads m.
 func (p *Platform) CPUThreads() int { return p.Host.Share }
 
+// Without returns a copy of the platform with the accelerator of the
+// given ID removed: the survivors renumber contiguously (IDs above the
+// removed one shift down by one, keeping the 1..n invariant every
+// layer assumes). The host cannot be removed. The original platform is
+// untouched — devices are copied, so a degraded platform never aliases
+// the one a plan was decided for.
+func (p *Platform) Without(id int) (*Platform, error) {
+	if id < 1 || id > len(p.Accels) {
+		return nil, fmt.Errorf("device: platform has no accelerator %d to remove", id)
+	}
+	host := *p.Host
+	out := &Platform{Host: &host}
+	for i, a := range p.Accels {
+		if a.ID == id {
+			continue
+		}
+		d := *a
+		d.ID = len(out.Accels) + 1
+		out.Accels = append(out.Accels, &d)
+		out.Links = append(out.Links, p.Links[i])
+	}
+	return out, nil
+}
+
 // String summarizes the platform for reports.
 func (p *Platform) String() string {
 	s := fmt.Sprintf("%s (m=%d)", p.Host.Name, p.Host.Share)

@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"fmt"
+
+	"heteropart/internal/apierr"
+)
+
+// Scope selects which faults of a schedule an Injector applies.
+type Scope int
+
+const (
+	// ScopeExecute is a measured run: every kind except profile_noise
+	// applies.
+	ScopeExecute Scope = iota
+	// ScopeProfile is a Glinda profiling probe: only profile_noise
+	// applies, so noisy profiling perturbs the partitioning decision
+	// without touching the measured execution.
+	ScopeProfile
+)
+
+// Injector applies one schedule to one execution. The runtime consults
+// it at its chunk-start and transfer-start boundaries; all state
+// (occurrence counters, loss latches) is private to the injector, so a
+// fresh injector per rt.Execute makes every execution independently
+// deterministic. The simulation engine is single-threaded, so the
+// injector needs no locking.
+//
+// A nil *Injector is valid and injects nothing — the runtime threads
+// it unconditionally.
+type Injector struct {
+	sched *Schedule
+	scope Scope
+	// seq counts occurrences per (fault index, device): kernel-chunk
+	// starts for execution kinds, transfer starts for transfer kinds.
+	seq map[seqKey]int64
+	// uses counts successful device uses (chunk + transfer starts) per
+	// device, for device_loss thresholds.
+	uses map[int]int64
+	// lost latches devices whose loss fault has fired.
+	lost map[int]bool
+}
+
+type seqKey struct {
+	fault int
+	dev   int
+}
+
+// NewInjector builds an injector for one execution. A nil schedule
+// yields a nil injector.
+func NewInjector(s *Schedule, scope Scope) *Injector {
+	if s == nil || len(s.Faults) == 0 {
+		return nil
+	}
+	return &Injector{
+		sched: s,
+		scope: scope,
+		seq:   make(map[seqKey]int64),
+		uses:  make(map[int]int64),
+		lost:  make(map[int]bool),
+	}
+}
+
+// Schedule returns the injector's schedule (nil for a nil injector).
+func (inj *Injector) Schedule() *Schedule {
+	if inj == nil {
+		return nil
+	}
+	return inj.sched
+}
+
+// matches reports whether a fault targets the device.
+func (f *Fault) matches(dev int) bool {
+	return f.Device == AnyDevice || f.Device == dev
+}
+
+// next returns the occurrence index of this event for the fault on the
+// device and advances the counter.
+func (inj *Injector) next(fault, dev int) int64 {
+	k := seqKey{fault, dev}
+	n := inj.seq[k]
+	inj.seq[k] = n + 1
+	return n
+}
+
+// checkLoss fires a pending device_loss fault for a use of dev at
+// nowNs; a non-nil error means the device is gone. A successful use
+// advances the device's use counter.
+func (inj *Injector) checkLoss(nowNs int64, dev int) error {
+	for i := range inj.sched.Faults {
+		f := &inj.sched.Faults[i]
+		if f.Kind != KindDeviceLoss || f.Device != dev {
+			continue
+		}
+		if inj.lost[dev] || (inj.uses[dev] >= f.After && nowNs >= f.AfterNs) {
+			inj.lost[dev] = true
+			return &DeviceLostError{Device: dev, AtNs: nowNs}
+		}
+	}
+	inj.uses[dev]++
+	return nil
+}
+
+// ExecStart is the runtime's chunk-start hook: it returns the
+// multiplicative duration factor (slowdown × jitter, 1 when
+// unperturbed) for a kernel-chunk execution on dev, or a typed error
+// when an injected crash or device loss fires. In ScopeProfile only
+// profile_noise contributes; in ScopeExecute profile_noise is inert.
+func (inj *Injector) ExecStart(nowNs int64, dev int, kernel string) (float64, error) {
+	if inj == nil {
+		return 1, nil
+	}
+	if inj.scope == ScopeProfile {
+		factor := 1.0
+		for i := range inj.sched.Faults {
+			f := &inj.sched.Faults[i]
+			if f.Kind != KindProfileNoise || !f.matches(dev) {
+				continue
+			}
+			factor *= noiseFactor(inj.sched.Seed, i, dev, inj.next(i, dev), f.Amplitude)
+		}
+		return factor, nil
+	}
+	if err := inj.checkLoss(nowNs, dev); err != nil {
+		return 1, err
+	}
+	factor := 1.0
+	for i := range inj.sched.Faults {
+		f := &inj.sched.Faults[i]
+		switch f.Kind {
+		case KindSlowdown:
+			if !f.matches(dev) {
+				continue
+			}
+			if n := inj.next(i, dev); n >= f.After && nowNs >= f.AfterNs {
+				factor *= f.Factor
+			}
+		case KindJitter:
+			if !f.matches(dev) {
+				continue
+			}
+			factor *= noiseFactor(inj.sched.Seed, i, dev, inj.next(i, dev), f.Amplitude)
+		case KindChunkCrash:
+			if f.Kernel != "" && f.Kernel != kernel {
+				continue
+			}
+			// Crash occurrences count globally across devices (the
+			// engine is single-threaded, so the order is deterministic).
+			if n := inj.next(i, AnyDevice); n == f.After && nowNs >= f.AfterNs {
+				return 1, &CrashError{Kernel: kernel, Device: dev, AtNs: nowNs}
+			}
+		}
+	}
+	return factor, nil
+}
+
+// TransferStart is the runtime's transfer-start hook: it returns the
+// extra stall (ns) injected into a transfer on accelerator dev's link,
+// or a typed error when an injected transfer failure or device loss
+// fires. Profiling probes run transfers unperturbed.
+func (inj *Injector) TransferStart(nowNs int64, dev int) (int64, error) {
+	if inj == nil || inj.scope == ScopeProfile {
+		return 0, nil
+	}
+	if err := inj.checkLoss(nowNs, dev); err != nil {
+		return 0, err
+	}
+	var extra int64
+	for i := range inj.sched.Faults {
+		f := &inj.sched.Faults[i]
+		switch f.Kind {
+		case KindTransferStall:
+			if !f.matches(dev) {
+				continue
+			}
+			if n := inj.next(i, dev); n >= f.After && nowNs >= f.AfterNs {
+				extra += f.ExtraNs
+			}
+		case KindTransferFail:
+			if !f.matches(dev) {
+				continue
+			}
+			if n := inj.next(i, dev); n == f.After && nowNs >= f.AfterNs {
+				return 0, &TransferFailError{Device: dev, AtNs: nowNs}
+			}
+		}
+	}
+	return extra, nil
+}
+
+// DeviceLostError reports an injected device loss. It matches both
+// apierr.ErrDeviceLost and apierr.ErrFaultInjected.
+type DeviceLostError struct {
+	// Device is the lost platform device ID.
+	Device int
+	// AtNs is the virtual time of the loss.
+	AtNs int64
+}
+
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("fault: device %d lost at t=%dns", e.Device, e.AtNs)
+}
+
+func (e *DeviceLostError) Is(target error) bool {
+	return target == apierr.ErrDeviceLost || target == apierr.ErrFaultInjected
+}
+
+// CrashError reports an injected kernel-chunk crash. It matches
+// apierr.ErrFaultInjected.
+type CrashError struct {
+	Kernel string
+	Device int
+	AtNs   int64
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: kernel %q chunk crashed on device %d at t=%dns", e.Kernel, e.Device, e.AtNs)
+}
+
+func (e *CrashError) Is(target error) bool { return target == apierr.ErrFaultInjected }
+
+// TransferFailError reports an injected transfer failure. It matches
+// apierr.ErrFaultInjected.
+type TransferFailError struct {
+	Device int
+	AtNs   int64
+}
+
+func (e *TransferFailError) Error() string {
+	return fmt.Sprintf("fault: transfer on device %d's link failed at t=%dns", e.Device, e.AtNs)
+}
+
+func (e *TransferFailError) Is(target error) bool { return target == apierr.ErrFaultInjected }
+
+// Degradation records one replan forced by an injected device loss; the
+// strategy layer appends it to the outcome and the flight bundle.
+type Degradation struct {
+	// LostDevice is the platform device ID that was lost (numbered in
+	// the platform of the attempt that lost it).
+	LostDevice int `json:"lost_device"`
+	// AtNs is the virtual time of the loss within the failed attempt.
+	AtNs int64 `json:"at_ns"`
+	// Attempt is the 0-based execution attempt that observed the loss.
+	Attempt int `json:"attempt"`
+	// RemainingAccels counts accelerators still available after the
+	// loss.
+	RemainingAccels int `json:"remaining_accels"`
+	// Replanned names the strategy used for the replan.
+	Replanned string `json:"replanned"`
+}
+
+// noiseFactor derives the deterministic multiplicative noise for one
+// occurrence: a pure hash of (seed, fault index, device, occurrence)
+// mapped uniformly into [1-amp, 1+amp). No PRNG stream is shared
+// across faults or devices, so the draw is independent of event
+// interleaving and of which other faults fire.
+func noiseFactor(seed int64, fault, dev int, seq int64, amp float64) float64 {
+	if amp == 0 {
+		return 1
+	}
+	h := uint64(seed)
+	h = splitmix64(h ^ uint64(fault)<<32)
+	h = splitmix64(h ^ uint64(uint32(dev))<<16)
+	h = splitmix64(h ^ uint64(seq))
+	u := float64(h>>11) / (1 << 53) // uniform in [0, 1)
+	return 1 - amp + 2*amp*u
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong
+// 64-bit mix with no state, ideal for counter-based deterministic
+// noise.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"heteropart/internal/device"
+	"heteropart/internal/fault"
 	"heteropart/internal/mem"
 	"heteropart/internal/metrics"
 	"heteropart/internal/rt"
@@ -59,6 +60,12 @@ type Config struct {
 	// SpanParent is the span profiling spans attach to (normally the
 	// strategy's plan span).
 	SpanParent telemetry.SpanID
+	// Faults, when non-nil, perturbs the profiling probes: schedules
+	// with profile_noise faults make the partitioning decision see a
+	// noisy platform while the measured run stays untouched (the
+	// robustness-to-profiling-noise experiment). Execution-scope
+	// faults never apply to probes.
+	Faults *fault.Schedule
 }
 
 // Defaults fills zero fields with default values.
@@ -312,7 +319,10 @@ func Profile(plat *device.Platform, dir *mem.Directory, k *task.Kernel, accelID 
 		}
 		cpuPlan.Submit(k, lo, hi, 0, -1)
 	}
-	cpuRes, err := rt.Execute(rt.Config{Platform: plat, Scheduler: sched.NewStatic()}, &cpuPlan, dir)
+	cpuRes, err := rt.Execute(rt.Config{
+		Platform: plat, Scheduler: sched.NewStatic(),
+		Faults: fault.NewInjector(cfg.Faults, fault.ScopeProfile),
+	}, &cpuPlan, dir)
 	if err != nil {
 		return Estimate{}, fmt.Errorf("glinda: CPU probe: %w", err)
 	}
@@ -324,7 +334,10 @@ func Profile(plat *device.Platform, dir *mem.Directory, k *task.Kernel, accelID 
 	// Accelerator probe on cold data.
 	var gpuPlan task.Plan
 	gpuPlan.Submit(k, 0, s, accelID, -1)
-	gpuRes, err := rt.Execute(rt.Config{Platform: plat, Scheduler: sched.NewStatic()}, &gpuPlan, dir)
+	gpuRes, err := rt.Execute(rt.Config{
+		Platform: plat, Scheduler: sched.NewStatic(),
+		Faults: fault.NewInjector(cfg.Faults, fault.ScopeProfile),
+	}, &gpuPlan, dir)
 	if err != nil {
 		return Estimate{}, fmt.Errorf("glinda: accelerator probe: %w", err)
 	}

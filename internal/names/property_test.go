@@ -1,0 +1,101 @@
+package names
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// registryNames mirrors the real lookup vocabularies the registries
+// feed Closest.
+var registryNames = []string{
+	"MatrixMul", "BlackScholes", "Nbody", "HotSpot", "STREAM-Seq", "STREAM-Loop",
+	"Cholesky", "Convolution", "Triangular",
+	"SP-Single", "SP-Unified", "SP-Varied", "DP-Perf", "DP-Dep", "Only-CPU", "Only-GPU",
+}
+
+// TestClosestProperties pins the suggestion contract on a table of
+// hand-picked probes plus a randomized sweep of corrupted candidate
+// names: suggestions are deterministic, case-insensitive, and never
+// further than 3 edits (nor most of the word) from the query.
+func TestClosestProperties(t *testing.T) {
+	probes := []string{
+		"", "x", "matrixmul", "MATRIXMUL", "MatrixMull", "SP-Signle",
+		"dp-prf", "stream-sq", "only-cp", "zzzzzzzz", "Black-Scholes",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		probes = append(probes, corrupt(rng, registryNames[rng.Intn(len(registryNames))]))
+	}
+
+	for _, probe := range probes {
+		got := Closest(probe, registryNames)
+
+		// Deterministic: the same query always yields the same answer.
+		if again := Closest(probe, registryNames); again != got {
+			t.Fatalf("Closest(%q) flapped: %q then %q", probe, got, again)
+		}
+
+		// Case-insensitive: the query's case never changes the answer.
+		for _, variant := range []string{strings.ToLower(probe), strings.ToUpper(probe)} {
+			if v := Closest(variant, registryNames); v != got {
+				t.Errorf("Closest(%q) = %q but Closest(%q) = %q — case must not matter",
+					probe, got, variant, v)
+			}
+		}
+
+		if got == "" {
+			continue
+		}
+
+		// A suggestion is always one of the candidates.
+		found := false
+		for _, c := range registryNames {
+			if c == got {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Closest(%q) = %q, which is not a candidate", probe, got)
+		}
+
+		// Never a stretch: at most 3 edits, and never rewriting most of
+		// the suggested word.
+		d := distance(strings.ToLower(probe), strings.ToLower(got))
+		if d > 3 {
+			t.Errorf("Closest(%q) = %q at distance %d, beyond the typo budget of 3", probe, got, d)
+		}
+		if d*2 >= len(got) {
+			t.Errorf("Closest(%q) = %q rewrites most of the word (distance %d, len %d)",
+				probe, got, d, len(got))
+		}
+
+		// No candidate is strictly closer than the suggestion (ties go
+		// to the earliest, so earlier candidates may match it).
+		for _, c := range registryNames {
+			if dc := distance(strings.ToLower(probe), strings.ToLower(c)); dc < d {
+				t.Errorf("Closest(%q) = %q (distance %d) but %q is closer (distance %d)",
+					probe, got, d, c, dc)
+			}
+		}
+	}
+}
+
+// corrupt applies 0–5 random single-character edits to a name —
+// the near-miss spellings Closest exists to catch, plus some beyond
+// the budget so the "no suggestion" branch is exercised too.
+func corrupt(rng *rand.Rand, name string) string {
+	b := []byte(name)
+	for n := rng.Intn(6); n > 0 && len(b) > 0; n-- {
+		switch i := rng.Intn(len(b)); rng.Intn(3) {
+		case 0: // substitute
+			b[i] = byte('a' + rng.Intn(26))
+		case 1: // delete
+			b = append(b[:i], b[i+1:]...)
+		default: // insert
+			b = append(b[:i], append([]byte{byte('a' + rng.Intn(26))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,95 @@
+package plan_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"heteropart/internal/apierr"
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/plan"
+	"heteropart/internal/strategy"
+)
+
+// fuzzSeedPlan decides one real plan and returns its canonical JSON —
+// the honest half of the corpus, so the fuzzer mutates from accepted
+// documents, not just garbage.
+func fuzzSeedPlan(f *testing.F, stratName, appName string, n int64) []byte {
+	f.Helper()
+	app, err := apps.ByName(appName)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := app.Build(apps.Variant{N: n})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := strategy.ByName(stratName)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pl, err := s.Plan(p, device.PaperPlatform(0), strategy.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := pl.JSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzPlanFromJSON is the decode-boundary fuzz target: FromJSON on
+// arbitrary bytes must never panic, every rejection must wrap
+// apierr.ErrPlanInvalid, and every accepted plan must validate and
+// re-encode to a byte-stable fixed point.
+func FuzzPlanFromJSON(f *testing.F) {
+	f.Add(fuzzSeedPlan(f, "SP-Single", "MatrixMul", 256))
+	f.Add(fuzzSeedPlan(f, "DP-Perf", "BlackScholes", 2048))
+	f.Add(fuzzSeedPlan(f, "SP-Varied", "STREAM-Seq", 2048))
+	f.Add(fuzzSeedPlan(f, "Only-CPU", "HotSpot", 64))
+	// Truncated and corrupted variants of a real plan.
+	real := fuzzSeedPlan(f, "SP-Single", "Nbody", 512)
+	f.Add(real[:len(real)/2])
+	f.Add(bytes.Replace(real, []byte(`"version": 1`), []byte(`"version": 99`), 1))
+	f.Add(bytes.Replace(real, []byte(`"lo"`), []byte(`"LO"`), -1))
+	// Adversarial documents.
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"app":"X","devices":-1,"phases":[{"kernel":"k","size":4,"chunks":[{"lo":0,"hi":9,"pin":7,"chain":-1}]}]}`))
+	f.Add([]byte(`{"version":1,"n":9223372036854775807,"iters":-1}`))
+	f.Add([]byte(strings.Repeat(`{"phases":[`, 100)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := plan.FromJSON(data)
+		if err != nil {
+			if !errors.Is(err, apierr.ErrPlanInvalid) {
+				t.Fatalf("FromJSON rejection %v does not wrap ErrPlanInvalid", err)
+			}
+			return
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("FromJSON accepted a plan its own Validate rejects: %v", err)
+		}
+		enc, err := pl.JSON()
+		if err != nil {
+			t.Fatalf("accepted plan failed to encode: %v", err)
+		}
+		back, err := plan.FromJSON(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding of an accepted plan was rejected: %v", err)
+		}
+		enc2, err := back.JSON()
+		if err != nil {
+			t.Fatalf("re-decoded plan failed to encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("canonical encoding is not a fixed point under decode∘encode")
+		}
+	})
+}

@@ -60,6 +60,18 @@ type rtMetrics struct {
 	simEvents  *metrics.Gauge
 	simWallNs  *metrics.Gauge
 	simRatio   *metrics.Gauge
+
+	// Fault-injection series, bound only when an injector is
+	// configured so clean runs expose an unchanged series set:
+	//
+	//	fault_perturbed_chunks_total    chunk durations scaled by a fault
+	//	fault_stalled_transfers_total   transfers delayed by a stall fault
+	//	fault_stall_ns_total            cumulative injected stall time
+	//	fault_injected_total{kind}      injected failures fired, by kind
+	faultPerturbedC *metrics.Counter
+	faultStalledC   *metrics.Counter
+	faultStallNs    *metrics.Counter
+	faultFired      map[string]*metrics.Counter
 }
 
 // dirIndex maps a transfer direction to its series slot.
@@ -73,8 +85,10 @@ func dirIndex(toDev bool) int {
 var dirName = [2]string{"dtoh", "htod"}
 
 // newRTMetrics binds every instrument for the given platform. Returns
-// nil (fully inert) when the registry is nil.
-func newRTMetrics(r *metrics.Registry, plat *device.Platform) *rtMetrics {
+// nil (fully inert) when the registry is nil. The fault_* series exist
+// only on faulted runs, so a clean run's exposition is byte-identical
+// to the pre-fault-layer one.
+func newRTMetrics(r *metrics.Registry, plat *device.Platform, faulted bool) *rtMetrics {
 	if r == nil {
 		return nil
 	}
@@ -119,7 +133,44 @@ func newRTMetrics(r *metrics.Registry, plat *device.Platform) *rtMetrics {
 	m.simEvents = r.Gauge("sim_events_total", "discrete events dispatched by the engine")
 	m.simWallNs = r.Gauge("sim_wall_ns", "real time spent inside the event loop")
 	m.simRatio = r.Gauge("sim_virtual_wall_ratio", "virtual time per unit of wall time")
+	if faulted {
+		m.faultPerturbedC = r.Counter("fault_perturbed_chunks_total",
+			"kernel-chunk durations scaled by an injected slowdown or jitter")
+		m.faultStalledC = r.Counter("fault_stalled_transfers_total",
+			"transfers delayed by an injected stall")
+		m.faultStallNs = r.Counter("fault_stall_ns_total",
+			"cumulative injected transfer-stall virtual nanoseconds")
+		m.faultFired = make(map[string]*metrics.Counter, 3)
+		for _, kind := range []string{"chunk_crash", "transfer_fail", "device_loss"} {
+			m.faultFired[kind] = r.Counter(metrics.Label("fault_injected_total", "kind", kind),
+				"injected failures fired, by fault kind")
+		}
+	}
 	return m
+}
+
+func (m *rtMetrics) faultPerturbed() {
+	if m == nil || m.faultPerturbedC == nil {
+		return
+	}
+	m.faultPerturbedC.Inc()
+}
+
+func (m *rtMetrics) faultStalled(extraNs int64) {
+	if m == nil || m.faultStalledC == nil {
+		return
+	}
+	m.faultStalledC.Inc()
+	m.faultStallNs.Add(extraNs)
+}
+
+func (m *rtMetrics) faultInjected(kind string) {
+	if m == nil || m.faultFired == nil {
+		return
+	}
+	if c := m.faultFired[kind]; c != nil {
+		c.Inc()
+	}
 }
 
 func (m *rtMetrics) taskDone(dev int, elems int64, dur sim.Duration) {

@@ -18,10 +18,12 @@ package rt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"heteropart/internal/apierr"
 	"heteropart/internal/device"
+	"heteropart/internal/fault"
 	"heteropart/internal/mem"
 	"heteropart/internal/metrics"
 	"heteropart/internal/sched"
@@ -62,6 +64,13 @@ type Config struct {
 	// Compute executes each kernel's real Go implementation at
 	// instance completion (tests); false runs timing-only (benches).
 	Compute bool
+	// Faults, when non-nil, is consulted at every chunk-start and
+	// transfer-start boundary: it scales durations (slowdown, jitter,
+	// stalls) and fires injected failures, which halt the engine with
+	// typed errors wrapping apierr.ErrFaultInjected (device losses
+	// also wrap apierr.ErrDeviceLost). Nil injects nothing; the hooks
+	// are nil-safe so the hot path never branches on configuration.
+	Faults *fault.Injector
 }
 
 // Result summarizes one execution.
@@ -233,7 +242,7 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 			DeviceBusy:        make(map[int]sim.Duration),
 		},
 	}
-	e.mx = newRTMetrics(cfg.Metrics, cfg.Platform)
+	e.mx = newRTMetrics(cfg.Metrics, cfg.Platform, cfg.Faults != nil)
 	if cfg.Metrics != nil {
 		if ms, ok := cfg.Scheduler.(sched.MetricsSetter); ok {
 			ms.SetMetrics(cfg.Metrics)
@@ -538,11 +547,20 @@ func (e *engine) runTransfer(tr mem.Transfer, done func()) {
 		accel = to
 		toDev = true
 	}
+	extra, ferr := e.cfg.Faults.TransferStart(int64(e.eng.Now()), accel)
+	if ferr != nil {
+		e.faultFired(ferr, tr.Buf.Name)
+		return
+	}
 	key := xferKey{tr.Buf.ID, tr.To}
 	fl := &inflightXfer{iv: tr.Interval}
 	e.inflight[key] = append(e.inflight[key], fl)
 	lr := e.links[accel]
 	dur := lr.link.TransferTime(tr.Bytes(), toDev)
+	if extra > 0 {
+		dur += sim.Duration(extra)
+		e.mx.faultStalled(extra)
+	}
 	var startAt sim.Time
 	lr.res(toDev).Acquire(dur,
 		func() { startAt = e.eng.Now() },
@@ -726,16 +744,58 @@ func (e *engine) startTransfers(in *task.Instance, d *device.Device) {
 }
 
 func (e *engine) exec(in *task.Instance, d *device.Device) {
+	factor, ferr := e.cfg.Faults.ExecStart(int64(e.eng.Now()), d.ID, in.Kernel.Name)
+	if ferr != nil {
+		e.faultFired(ferr, in.String())
+		return
+	}
 	eff := in.Kernel.EffOn(d.Kind)
 	w := in.Work()
 	if d.ID == 0 && d.Share > 1 {
 		// Host: full-speed demand under processor sharing.
-		e.ps.Add(in, d.ExecTimeFull(w, eff))
+		e.ps.Add(in, perturb(d.ExecTimeFull(w, eff), factor))
+		if factor != 1 {
+			e.mx.faultPerturbed()
+		}
 		return
 	}
-	dur := d.ExecTime(w, eff)
+	dur := perturb(d.ExecTime(w, eff), factor)
+	if factor != 1 {
+		e.mx.faultPerturbed()
+	}
 	startAt := e.eng.Now()
 	e.eng.After(dur, func() { e.complete(in, d, startAt, dur) })
+}
+
+// perturb scales a duration by the injector's factor. float64 holds
+// any realistic virtual duration exactly enough, and Go float
+// arithmetic is deterministic, so the result is reproducible.
+func perturb(dur sim.Duration, factor float64) sim.Duration {
+	if factor == 1 {
+		return dur
+	}
+	return sim.Duration(float64(dur)*factor + 0.5)
+}
+
+// faultFired halts the engine with an injected failure, recording the
+// fault metric and span first so the flight recorder of a failed run
+// shows what fired.
+func (e *engine) faultFired(err error, label string) {
+	var (
+		dl *fault.DeviceLostError
+		tf *fault.TransferFailError
+	)
+	kind := "chunk_crash"
+	switch {
+	case errors.As(err, &dl):
+		kind = "device_loss"
+	case errors.As(err, &tf):
+		kind = "transfer_fail"
+	}
+	e.mx.faultInjected(kind)
+	e.sp.fault(kind, label, e.eng.Now())
+	e.fail(fmt.Errorf("rt: halted by injected fault (op %d/%d): %w",
+		e.opIdx, len(e.plan.Ops), err))
 }
 
 func (e *engine) complete(in *task.Instance, d *device.Device, startAt sim.Time, dur sim.Duration) {

@@ -123,6 +123,16 @@ func (s *rtSpans) decision(in *task.Instance, dev int, start, end sim.Time) {
 	s.tr.Annotate(id, "dev", strconv.Itoa(dev))
 }
 
+// fault records one injected failure as a point event at its virtual
+// time.
+func (s *rtSpans) fault(kind, label string, at sim.Time) {
+	if s == nil {
+		return
+	}
+	id := s.tr.Emit(s.parent, telemetry.KindFault, kind+" "+label, at, at)
+	s.tr.Annotate(id, "fault", kind)
+}
+
 // barrier records one taskwait drain+flush.
 func (s *rtSpans) barrier(label string, start, end sim.Time) {
 	if s == nil {

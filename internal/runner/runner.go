@@ -285,6 +285,7 @@ func (r *Runner) PlanContext(ctx context.Context, spec Spec) (*plan.ExecutionPla
 	}
 	pl, err := r.planFor(spec, s, plat, p, strategy.Options{
 		Chunks: spec.Chunks, NoSeed: spec.NoSeed, Spans: r.spans,
+		Faults: spec.Fault,
 	})
 	return pl, rep, err
 }
@@ -332,6 +333,7 @@ func (r *Runner) execute(ctx context.Context, spec Spec, parent telemetry.SpanID
 		Metrics:      res.Metrics,
 		Spans:        r.spans,
 		SpanParent:   runSpan,
+		Faults:       spec.Fault,
 	}
 	// Resolve the strategy first (for matchmade specs through the
 	// analyzer — Analyze is pure, so splitting it from the execution
@@ -356,12 +358,35 @@ func (r *Runner) execute(ctx context.Context, spec Spec, parent telemetry.SpanID
 		return nil, err
 	}
 	res.Plan = pl
-	out, err := strategy.ExecuteContext(ctx, pl, p, plat, opts)
-	if err != nil {
-		return nil, err
+	if spec.Fault != nil {
+		// Faulted executions go through the bounded device-loss
+		// recovery: a lost accelerator replans on the survivors, and
+		// the result records the plan that actually executed. A failed
+		// faulted run returns its typed error like any other failure —
+		// the single-flight slot caches it under the fault-scoped key,
+		// never under a clean spec's.
+		rec, err := strategy.ExecuteRecover(ctx, pl, p, plat, opts,
+			func(surv *device.Platform) (*apps.Problem, error) {
+				return app.Build(apps.Variant{
+					N: spec.N, Iters: spec.Iters, Sync: spec.Sync,
+					Spaces:  1 + len(surv.Accels),
+					Compute: spec.Compute,
+				})
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = rec.Plan
+		res.Outcome = rec.Outcome
+		res.Verify = rec.Problem.Verify
+	} else {
+		out, err := strategy.ExecuteContext(ctx, pl, p, plat, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Outcome = out
+		res.Verify = p.Verify
 	}
-	res.Outcome = out
-	res.Verify = p.Verify
 	r.runs.Inc()
 	if r.workerRuns != nil {
 		r.workerRuns[worker].Inc()
@@ -424,5 +449,6 @@ func (r *Runner) decide(spec Spec, s strategy.Strategy, plat *device.Platform,
 	return s.Plan(p, plat, strategy.Options{
 		Chunks: spec.Chunks, NoSeed: spec.NoSeed,
 		Spans: r.spans, SpanParent: planSpan,
+		Faults: spec.Fault,
 	})
 }

@@ -7,6 +7,7 @@ import (
 
 	"heteropart/internal/apps"
 	"heteropart/internal/device"
+	"heteropart/internal/fault"
 	"heteropart/internal/plan"
 )
 
@@ -46,6 +47,12 @@ type Spec struct {
 	// builders. It participates in the cache key so differently-seeded
 	// runs never alias.
 	Seed int64
+	// Fault, when non-nil, injects the schedule into the run (see
+	// internal/fault). The schedule's canonical encoding participates
+	// in both cache keys, so faulted runs never alias clean ones — and
+	// since injection is as deterministic as the simulator, caching a
+	// faulted run's outcome under its own key stays sound.
+	Fault *fault.Schedule
 }
 
 // platform resolves the spec's platform, defaulting to the paper's.
@@ -73,10 +80,10 @@ func (s Spec) Canonical() string {
 	if strat == "" {
 		strat = "(matchmake)"
 	}
-	return fmt.Sprintf("app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|compute=%t|trace=%t|metrics=%t|seed=%d",
+	return fmt.Sprintf("app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|compute=%t|trace=%t|metrics=%t|seed=%d|fault=%s",
 		s.App, strat, int(s.Sync), s.N, s.Iters,
 		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Compute,
-		s.CollectTrace, s.WithMetrics, s.Seed)
+		s.CollectTrace, s.WithMetrics, s.Seed, s.Fault.Canonical())
 }
 
 // Key is the content address of the spec: a SHA-256 over the canonical
@@ -95,9 +102,9 @@ func (s Spec) Key() string {
 // analyzer's pick), so "(matchmake)" and an explicit best-strategy
 // spec alias to the same plan.
 func (s Spec) PlanCanonical(resolved string) string {
-	return fmt.Sprintf("plan|app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|seed=%d",
+	return fmt.Sprintf("plan|app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|seed=%d|fault=%s",
 		s.App, resolved, int(s.Sync), s.N, s.Iters,
-		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Seed)
+		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Seed, s.Fault.Canonical())
 }
 
 // PlanKey is the content address of the decision inputs; the plan

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heteropart"
+)
+
+// crashBody is a matchmake request whose injected chunk crash is
+// unrecoverable — every flight for it fails with a typed 500.
+const crashBody = `{"app":"MatrixMul","strategy":"SP-Single","n":256,
+	"fault":{"version":1,"seed":13,"faults":[{"kind":"chunk_crash","after":1}]}}`
+
+// TestServiceFaultGate pins the admission rules of the fault surface:
+// schedules are rejected outright on a service without AllowFaults,
+// and an invalid schedule is a 400 even with the gate open.
+func TestServiceFaultGate(t *testing.T) {
+	_, closed := newTestService(t, Config{Workers: 1})
+	if status, _, eb := postJSON(t, closed.URL+"/v1/matchmake", crashBody); status != http.StatusBadRequest {
+		t.Errorf("fault without -allow-faults: status %d (%+v), want 400", status, eb)
+	} else if !strings.Contains(eb.Error, "disabled") {
+		t.Errorf("gate error %q does not say injection is disabled", eb.Error)
+	}
+
+	_, open := newTestService(t, Config{Workers: 1, AllowFaults: true})
+	bad := `{"app":"MatrixMul","n":256,"fault":{"version":1,"seed":1,"faults":[{"kind":"slowdown","factor":0.5}]}}`
+	if status, _, eb := postJSON(t, open.URL+"/v1/matchmake", bad); status != http.StatusBadRequest {
+		t.Errorf("invalid schedule: status %d (%+v), want 400", status, eb)
+	}
+}
+
+// TestServiceChaosCoalescedFailure is the service chaos scenario: a
+// storm of identical faulted requests must coalesce onto one doomed
+// flight, every waiter must read the same typed error, and afterwards
+// the admission queue must be drained, clean requests must still
+// succeed, and no goroutines may have leaked.
+func TestServiceChaosCoalescedFailure(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	reg := heteropart.NewMetrics()
+	svc, ts := newTestService(t, Config{Workers: 1, Queue: 64, Metrics: reg, AllowFaults: true})
+	// Hold the single worker briefly inside each flight: the first
+	// storm request pins it for longer than the storm takes to arrive,
+	// so the remaining requests provably coalesce as waiters (failures
+	// are never memoized, so overlap is the only way to coalesce).
+	svc.panicHook = func() { time.Sleep(150 * time.Millisecond) }
+
+	const clients = 24
+	statuses := make([]int, clients)
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			status, _, eb := postJSONQuiet(ts.URL+"/v1/matchmake", crashBody)
+			statuses[c] = status
+			if eb != nil {
+				bodies[c] = fmt.Sprintf("%d:%s", eb.Status, eb.Error)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 0; c < clients; c++ {
+		if statuses[c] != http.StatusInternalServerError {
+			t.Errorf("client %d: status %d, want 500 (injected crash)", c, statuses[c])
+		}
+		if bodies[c] != bodies[0] {
+			t.Errorf("client %d read %q, client 0 read %q — coalesced waiters must share one error",
+				c, bodies[c], bodies[0])
+		}
+	}
+	if !strings.Contains(bodies[0], "fault") {
+		t.Errorf("error body %q does not mention the injected fault", bodies[0])
+	}
+	if hits := counter(reg, "service_coalesce_hits_total"); hits <= 0 {
+		t.Errorf("service_coalesce_hits_total = %v, want > 0 (storm must coalesce)", hits)
+	}
+	if rej := counter(reg, "service_rejected_total"); rej != 0 {
+		t.Errorf("service_rejected_total = %v, want 0 (queue sized for the storm)", rej)
+	}
+
+	// The queue drains and the service still serves clean work.
+	if q := counter(reg, "service_queue_depth"); q != 0 {
+		t.Errorf("service_queue_depth = %v after the storm, want 0", q)
+	}
+	if inf := counter(reg, "service_inflight"); inf != 0 {
+		t.Errorf("service_inflight = %v after the storm, want 0", inf)
+	}
+	if status, resp, eb := postJSON(t, ts.URL+"/v1/matchmake", `{"app":"MatrixMul","n":128}`); status != http.StatusOK {
+		t.Errorf("clean request after the storm: status %d (%+v)", status, eb)
+	} else if resp.Outcome == nil || resp.Outcome.MakespanNs <= 0 {
+		t.Errorf("clean request after the storm returned no outcome")
+	}
+
+	// No goroutine leak: the count must settle back to (near) the
+	// pre-storm baseline once idle HTTP keep-alives wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+8 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+8 {
+		t.Errorf("goroutines: %d after the storm, baseline %d — leak suspected", n, baseline)
+	}
+}
+
+// TestServiceFaultedMatchmakeRecovers drives a device-loss schedule
+// through /v1/matchmake: the runner's replan policy must turn the loss
+// into a successful degraded response, and the faulted flight must not
+// alias the clean one.
+func TestServiceFaultedMatchmakeRecovers(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2, AllowFaults: true})
+
+	clean := `{"app":"MatrixMul","strategy":"SP-Single","n":256}`
+	lossy := `{"app":"MatrixMul","strategy":"SP-Single","n":256,
+		"fault":{"version":1,"seed":3,"faults":[{"kind":"device_loss","device":1,"after":2}]}}`
+
+	status, cresp, eb := postJSON(t, ts.URL+"/v1/matchmake", clean)
+	if status != http.StatusOK {
+		t.Fatalf("clean: status %d (%+v)", status, eb)
+	}
+	status, fresp, eb := postJSON(t, ts.URL+"/v1/matchmake", lossy)
+	if status != http.StatusOK {
+		t.Fatalf("device loss did not recover: status %d (%+v)", status, eb)
+	}
+	if fresp.Outcome == nil || fresp.Outcome.MakespanNs <= 0 {
+		t.Fatal("degraded run returned no outcome")
+	}
+	if fresp.Outcome.Strategy != "Only-CPU" {
+		t.Errorf("degraded outcome strategy = %q, want Only-CPU (GPU was lost)", fresp.Outcome.Strategy)
+	}
+	if fresp.Outcome.MakespanNs == cresp.Outcome.MakespanNs {
+		t.Error("faulted flight returned the clean flight's makespan — cache keys alias")
+	}
+
+	// Same faulted request again: memoized, byte-stable.
+	status, fresp2, eb := postJSON(t, ts.URL+"/v1/matchmake", lossy)
+	if status != http.StatusOK {
+		t.Fatalf("repeat faulted request: status %d (%+v)", status, eb)
+	}
+	if *fresp2.Outcome != *fresp.Outcome {
+		t.Errorf("repeat faulted request outcome %+v != first %+v", fresp2.Outcome, fresp.Outcome)
+	}
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"heteropart"
+)
+
+// FuzzServiceRequest is the HTTP-boundary fuzz target: arbitrary
+// request bodies through decode → validation → spec construction must
+// never panic and must fail only with typed errors that statusFor can
+// map (an *httpErr or a facade sentinel) — never a bare 500 from a
+// malformed body.
+func FuzzServiceRequest(f *testing.F) {
+	svc := New(Config{Workers: 1, AllowFaults: true})
+	f.Cleanup(svc.Close)
+
+	// Honest bodies for every endpoint shape.
+	f.Add(`{"app":"MatrixMul","n":128}`)
+	f.Add(`{"app":"BlackScholes","strategy":"DP-Perf","n":2048,"iters":2,"sync":"forced","threads":6,"chunks":24,"noseed":true,"timeout_ms":500}`)
+	f.Add(`{"structure":"k1(n);sync;k2(n)"}`)
+	f.Add(`{"app":"MatrixMul","n":256,"fault":{"version":1,"seed":7,"faults":[{"kind":"slowdown","device":1,"factor":2}]}}`)
+	f.Add(`{"app":"MatrixMul","n":256,"fault":{"version":1,"seed":7,"faults":[{"kind":"device_loss","device":1,"after":2}]}}`)
+	f.Add(`{"app":"MatrixMul","plan":{"version":1,"app":"MatrixMul"}}`)
+	// Hostile bodies.
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"app":"MatrixMul","n":-1}`)
+	f.Add(`{"app":"MatrixMul","unknown_field":1}`)
+	f.Add(`{"app":"MatrixMul","sync":"sometimes"}`)
+	f.Add(`{"app":"MatrixMul","threads":99999}`)
+	f.Add(`{"app":"MatrixMul","n":9223372036854775807,"chunks":65537}`)
+	f.Add(`{"fault":{"version":99}}`)
+	f.Add(`{"fault":{"version":1,"seed":1,"faults":[{"kind":"slowdown","factor":0.1}]}}`)
+	f.Add(`{"fault":` + strings.Repeat(`{"fault":`, 50) + `}`)
+
+	typed := func(t *testing.T, stage string, err error) {
+		t.Helper()
+		var he *httpErr
+		switch {
+		case errors.As(err, &he):
+		case errors.Is(err, heteropart.ErrFaultInvalid),
+			errors.Is(err, heteropart.ErrPlanInvalid),
+			errors.Is(err, heteropart.ErrUnknownApp),
+			errors.Is(err, heteropart.ErrUnknownStrategy):
+		default:
+			t.Fatalf("%s returned an untyped error: %v", stage, err)
+		}
+		if code := statusFor(err); code < 400 || code > 599 {
+			t.Fatalf("%s error %v maps to non-error status %d", stage, err, code)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		r := httptest.NewRequest("POST", "/v1/matchmake", strings.NewReader(body))
+		req, err := decodeRequest(r)
+		if err != nil {
+			typed(t, "decodeRequest", err)
+			return
+		}
+		if _, err := svc.specOf(req); err != nil {
+			typed(t, "specOf", err)
+		}
+		if len(req.Plan) > 0 {
+			if _, err := heteropart.PlanFromJSON(req.Plan); err != nil {
+				typed(t, "PlanFromJSON", err)
+			}
+		}
+	})
+}

@@ -68,6 +68,11 @@ type Config struct {
 	// MaxFlights bounds the memoized completed flights (default 1024);
 	// the oldest completed flights are evicted first.
 	MaxFlights int
+	// AllowFaults admits requests carrying a fault schedule. Off by
+	// default: fault injection is a chaos-testing surface, and a public
+	// endpoint should not let callers crash simulated devices unless
+	// the operator opted in (hetserved -allow-faults).
+	AllowFaults bool
 	// Metrics, when non-nil, receives the service_* instruments and is
 	// shared with the runner (runner_*, plan_cache_*).
 	Metrics *metrics.Registry
@@ -223,6 +228,12 @@ type Request struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// Plan, on /v1/execute, is the serialized ExecutionPlan to replay.
 	Plan json.RawMessage `json:"plan,omitempty"`
+	// Fault is a serialized FaultSchedule to inject into the run.
+	// Requires the service to be started with fault injection enabled
+	// (Config.AllowFaults); rejected with 400 otherwise. Faulted
+	// flights coalesce separately from clean ones — the schedule's
+	// canonical encoding is part of the flight key.
+	Fault json.RawMessage `json:"fault,omitempty"`
 }
 
 // ReportView is the analyzer's decision, rendered for the wire.
@@ -272,8 +283,9 @@ func badRequest(format string, args ...any) *httpErr {
 }
 
 // statusFor maps the facade's sentinel errors to HTTP statuses:
-// unknown app/strategy → 404, invalid plan → 400, platform mismatch →
-// 409, abandoned by context → 499, anything else → 500.
+// unknown app/strategy → 404, invalid plan or fault schedule → 400,
+// platform mismatch → 409, abandoned by context → 499, anything else
+// (including a run halted by an injected fault) → 500.
 func statusFor(err error) int {
 	var he *httpErr
 	switch {
@@ -282,7 +294,8 @@ func statusFor(err error) int {
 	case errors.Is(err, heteropart.ErrUnknownApp),
 		errors.Is(err, heteropart.ErrUnknownStrategy):
 		return http.StatusNotFound
-	case errors.Is(err, heteropart.ErrPlanInvalid):
+	case errors.Is(err, heteropart.ErrPlanInvalid),
+		errors.Is(err, heteropart.ErrFaultInvalid):
 		return http.StatusBadRequest
 	case errors.Is(err, heteropart.ErrPlatformMismatch):
 		return http.StatusConflict
@@ -340,6 +353,10 @@ func (s *Service) specOf(req *Request) (heteropart.RunSpec, error) {
 	if err != nil {
 		return heteropart.RunSpec{}, err
 	}
+	sched, err := s.faultOf(req)
+	if err != nil {
+		return heteropart.RunSpec{}, err
+	}
 	return heteropart.RunSpec{
 		App:      req.App,
 		Strategy: req.Strategy,
@@ -349,7 +366,22 @@ func (s *Service) specOf(req *Request) (heteropart.RunSpec, error) {
 		Plat:     heteropart.PaperPlatform(req.Threads),
 		Chunks:   req.Chunks,
 		NoSeed:   req.NoSeed,
+		Fault:    sched,
 	}, nil
+}
+
+// faultOf parses and validates a request's fault schedule. Fault
+// injection must be enabled service-wide; a schedule on a service
+// without it is a 400, an invalid schedule wraps ErrFaultInvalid
+// (also 400).
+func (s *Service) faultOf(req *Request) (*heteropart.FaultSchedule, error) {
+	if len(req.Fault) == 0 {
+		return nil, nil
+	}
+	if !s.cfg.AllowFaults {
+		return nil, badRequest("service: fault injection is disabled (start the server with -allow-faults)")
+	}
+	return heteropart.FaultScheduleFromJSON(req.Fault)
 }
 
 // flightKey is the coalescing key: the runner's plan-cache key
@@ -446,6 +478,11 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("service: threads must be in [0, 1024]"))
 		return
 	}
+	sched, err := s.faultOf(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	plat := heteropart.PaperPlatform(req.Threads)
 	// The coalescing key hashes the plan's canonical encoding plus
 	// everything else that shapes the execution.
@@ -455,7 +492,8 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sum := sha256.Sum256(append(canonical,
-		[]byte(fmt.Sprintf("|sync=%d|plat=%s", int(sync), heteropart.PlatformFingerprint(plat)))...))
+		[]byte(fmt.Sprintf("|sync=%d|plat=%s|fault=%s",
+			int(sync), heteropart.PlatformFingerprint(plat), sched.Canonical()))...))
 	key := "execute|" + hex.EncodeToString(sum[:])
 	s.serve(w, r, req, key, func(ctx context.Context) (*Response, error) {
 		app, err := heteropart.AppByName(pl.App)
@@ -469,7 +507,7 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := heteropart.ExecutePlanContext(ctx, pl, p, plat, heteropart.Options{})
+		out, err := heteropart.ExecutePlanContext(ctx, pl, p, plat, heteropart.Options{Faults: sched})
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@ import (
 	"heteropart/internal/apps"
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
+	"heteropart/internal/fault"
 	"heteropart/internal/glinda"
 	"heteropart/internal/metrics"
 	"heteropart/internal/names"
@@ -63,6 +64,14 @@ type Options struct {
 	// SpanParent is the span the strategy's spans attach to (normally
 	// the runner's run span; 0 makes them roots).
 	SpanParent telemetry.SpanID
+	// Faults, when non-nil, injects the schedule into the measured run
+	// (and, for seeded perf plans, the training pass): a fresh
+	// fault.Injector per execution, so every attempt is independently
+	// deterministic. Profile-noise faults additionally perturb Glinda
+	// probes via glindaCfg. Injected failures surface as typed errors
+	// wrapping apierr.ErrFaultInjected; ExecuteRecover answers device
+	// losses with a bounded replan.
+	Faults *fault.Schedule
 
 	// ctx is the execution's cancellation context, set by the *Context
 	// entry points (ExecuteContext, RunContext) and threaded into the
@@ -93,6 +102,9 @@ func (o Options) glindaCfg() glinda.Config {
 		g.Spans = o.Spans
 		g.SpanParent = o.SpanParent
 	}
+	if g.Faults == nil {
+		g.Faults = o.Faults
+	}
 	return g
 }
 
@@ -105,6 +117,14 @@ type Outcome struct {
 	// static strategies (one entry, keyed "", for SP-Single and
 	// SP-Unified).
 	Decisions map[string]glinda.Decision
+	// Faults is the schedule the run was injected with (the original
+	// one, before any device-loss pruning — the repro artifact). Nil
+	// for clean runs.
+	Faults *fault.Schedule
+	// Degradations records every device loss the run survived via
+	// ExecuteRecover's replan, in the order they fired. Empty for runs
+	// that completed on their first attempt.
+	Degradations []fault.Degradation
 }
 
 // GPURatio is the measured accelerator share of the computation.
@@ -216,7 +236,10 @@ func ExecuteContext(ctx context.Context, pl *plan.ExecutionPlan, p *apps.Problem
 				opts.Spans.End(trainSpan)
 				return nil, err
 			}
-			if _, err := rt.Execute(rt.Config{Platform: plat, Scheduler: trainer, Ctx: opts.ctx}, trainPlan, p.Dir); err != nil {
+			if _, err := rt.Execute(rt.Config{
+				Platform: plat, Scheduler: trainer, Ctx: opts.ctx,
+				Faults: fault.NewInjector(opts.Faults, fault.ScopeExecute),
+			}, trainPlan, p.Dir); err != nil {
 				opts.Spans.End(trainSpan)
 				return nil, err
 			}
@@ -315,11 +338,12 @@ func execute(name string, p *apps.Problem, plat *device.Platform, s sched.Schedu
 		SpanParent: span,
 		SpanPhases: phases,
 		Compute:    opts.Compute,
+		Faults:     fault.NewInjector(opts.Faults, fault.ScopeExecute),
 	}, tp, p.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("strategy %s on %s: %w", name, p.AppName, err)
 	}
-	out := &Outcome{Strategy: name, Result: res, Trace: tr}
+	out := &Outcome{Strategy: name, Result: res, Trace: tr, Faults: opts.Faults}
 	if opts.Metrics != nil {
 		// Partition-ratio history: the gauge holds the latest run, the
 		// histogram accumulates across runs (auto-tune sweeps, loops).

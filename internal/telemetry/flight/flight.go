@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"heteropart/internal/fault"
 	"heteropart/internal/metrics"
 	"heteropart/internal/plan"
 	"heteropart/internal/telemetry"
@@ -52,6 +53,32 @@ type Bundle struct {
 	Spans *telemetry.Dump `json:"spans,omitempty"`
 	// Utilization is the per-device occupancy table (device order).
 	Utilization []trace.DeviceUtilization `json:"utilization,omitempty"`
+	// Faults is the fault schedule the run was injected with (its
+	// stable JSON — feed it back through hetsim -fault-in to reproduce
+	// the run). Absent for clean runs, so pre-fault-layer bundles parse
+	// and re-encode unchanged.
+	Faults json.RawMessage `json:"faults,omitempty"`
+	// Degradations is the run's survived-device-loss history in firing
+	// order (ExecuteRecover replans). Absent when nothing was lost.
+	Degradations []fault.Degradation `json:"degradations,omitempty"`
+}
+
+// AttachFaults records a run's fault evidence on the bundle: the
+// schedule it was injected with and the degradations it survived. A
+// nil schedule with no degradations is a no-op, keeping clean bundles
+// byte-identical to pre-fault-layer ones.
+func (b *Bundle) AttachFaults(sched *fault.Schedule, degs []fault.Degradation) error {
+	if sched != nil {
+		raw, err := sched.JSON()
+		if err != nil {
+			return err
+		}
+		b.Faults = raw
+	}
+	if len(degs) > 0 {
+		b.Degradations = degs
+	}
+	return nil
 }
 
 // Record assembles a bundle from a run's artifacts. Any part may be
@@ -150,6 +177,12 @@ func Diff(a, b *Bundle) []string {
 
 	if pa, pb := canonJSON(a.Plan), canonJSON(b.Plan); pa != pb {
 		out = append(out, "plan: differs")
+	}
+	if fa, fb := canonJSON(a.Faults), canonJSON(b.Faults); fa != fb {
+		out = append(out, "faults: differs")
+	}
+	if da, db := mustJSON(a.Degradations), mustJSON(b.Degradations); da != db {
+		out = append(out, fmt.Sprintf("degradations: %s != %s", da, db))
 	}
 	out = append(out, diffMetrics(a.Metrics, b.Metrics)...)
 	out = append(out, diffSpans(a.Spans, b.Spans)...)

@@ -67,11 +67,16 @@ const (
 	// KindRequest covers one HTTP request into the matchmaking
 	// service, from admission to response.
 	KindRequest
+	// KindFault marks one injected fault firing (crash, transfer
+	// failure, device loss) — a point event at the fault's virtual
+	// time.
+	KindFault
 )
 
 var kindNames = [...]string{
 	"sweep", "run", "plan", "execute", "train", "phase", "chunk",
 	"transfer", "decide", "barrier", "profile", "warmup", "request",
+	"fault",
 }
 
 // String names the kind as exported span dumps do.
