@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean api service-load fuzz chaos
+.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean api service-load fuzz chaos platforms
 
 # Pinned staticcheck version; CI installs exactly this.
 STATICCHECK_VERSION = 2024.1.1
@@ -65,8 +65,20 @@ chaos:
 	$(GO) test -run 'TestChaos|TestService(FaultGate|ChaosCoalescedFailure|FaultedMatchmakeRecovers)|TestClosestProperties' -count=1 \
 		./internal/runner ./internal/service ./internal/names
 
+# Smoke the platform catalog end to end: every bundled PlatformSpec in
+# examples/platforms/ must load through -platform-in and carry a full
+# decide/execute run, and the named-catalog path (-platform) must agree.
+platforms:
+	@for f in examples/platforms/*.json; do \
+		$(GO) run ./cmd/hetsim -app BlackScholes -strategy SP-Single -n 16384 -platform-in $$f >/dev/null || exit 1; \
+		echo "platforms: $$f ok"; \
+	done
+	@$(GO) run ./cmd/hetsim -app Nbody -strategy DP-Perf -n 1024 -platform tri-asym-p2p >/dev/null
+	@$(GO) run ./cmd/hetsim -app STREAM-Loop -strategy SP-Varied -n 4096 -platform dual-gpu-bus >/dev/null
+	@echo "platforms: catalog smoke ok"
+
 # Everything a change must pass before merging.
-check: build vet lint test race service-load chaos fuzz bench-report
+check: build vet lint test race service-load chaos fuzz platforms bench-report
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -82,6 +82,8 @@ func main() {
 		recordIn  = flag.String("record-diff", "", "compare this flight-recorder bundle against the one named by the next argument, then exit")
 		faultIn   = flag.String("fault-in", "", "inject the fault schedule (JSON) from this file into the run; injection is deterministic, and device losses recover by replanning on the survivors (DESIGN.md §12)")
 		faultOut  = flag.String("fault-out", "", "write the run's validated fault schedule (stable JSON) to this file — the exact artifact -fault-in replays")
+		platName  = flag.String("platform", "", "simulate a named catalog platform instead of the paper's (see heteropart.PlatformNames; empty = paper)")
+		platIn    = flag.String("platform-in", "", "simulate the platform described by this PlatformSpec JSON file (overrides -platform)")
 	)
 	flag.Parse()
 	if *recordIn != "" {
@@ -154,7 +156,8 @@ func main() {
 		fmt.Printf("fault schedule written to %s\n", *faultOut)
 	}
 
-	plat := heteropart.PaperPlatform(*m)
+	plat, err := resolvePlatform(*platIn, *platName, *m)
+	fatal(err)
 	if *sweep {
 		if *recordOut != "" {
 			fatal(fmt.Errorf("-record-out records a single run and cannot combine with -sweep"))
@@ -165,7 +168,10 @@ func main() {
 	}
 	app, err := heteropart.AppByName(*appName)
 	fatal(err)
-	problem, err := app.Build(heteropart.Variant{N: *n, Iters: *iters, Sync: sync, Compute: *compute})
+	problem, err := app.Build(heteropart.Variant{
+		N: *n, Iters: *iters, Sync: sync, Compute: *compute,
+		Spaces: 1 + len(plat.Accels),
+	})
 	fatal(err)
 
 	// -record-out and -serve imply full observability: trace, metrics
@@ -422,6 +428,25 @@ func indent(s string) string {
 		lines[i] = "  " + lines[i]
 	}
 	return strings.Join(lines, "\n") + "\n"
+}
+
+// resolvePlatform picks the simulated platform: a PlatformSpec JSON
+// file (-platform-in), a named catalog entry (-platform), or the
+// paper's Xeon+K20m pair. threads > 0 overrides the host worker count
+// in all three cases (the -m flag).
+func resolvePlatform(file, name string, threads int) (*heteropart.Platform, error) {
+	switch {
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return heteropart.PlatformFromJSON(data, threads)
+	case name != "":
+		return heteropart.PlatformByName(name, threads)
+	default:
+		return heteropart.PaperPlatform(threads), nil
+	}
 }
 
 func fatal(err error) {

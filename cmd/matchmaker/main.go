@@ -37,6 +37,7 @@ func main() {
 		explain  = flag.Bool("explain", false, "diff the winning strategy's execution plan against the runner-up's")
 		validate = flag.Bool("validate", false, "run every suitable strategy and check Table I's ranking")
 		showMx   = flag.Bool("metrics", false, "print the executed run's metrics registry (Prometheus text exposition)")
+		platName = flag.String("platform", "", "match against a named catalog platform instead of the paper's (empty = paper)")
 	)
 	flag.Parse()
 
@@ -76,9 +77,14 @@ func main() {
 	}
 
 	plat := heteropart.PaperPlatform(*m)
+	if *platName != "" {
+		var perr error
+		plat, perr = heteropart.PlatformByName(*platName, *m)
+		fatal(perr)
+	}
 	fmt.Printf("platform: %s\n", plat)
 
-	variant := heteropart.Variant{N: *n, Iters: *iters, Sync: sync}
+	variant := heteropart.Variant{N: *n, Iters: *iters, Sync: sync, Spaces: 1 + len(plat.Accels)}
 
 	if *validate {
 		val, err := heteropart.ValidateRanking(app, variant, plat, heteropart.Options{})

@@ -72,4 +72,25 @@ func main() {
 		log.Fatal("the extra accelerator did not help a compute-bound kernel")
 	}
 	fmt.Println("\nthe water-filling split uses the third device profitably")
+
+	// The same topology ships as a named catalog entry (plus a P2P link
+	// between the two accelerators) — the form `hetsim -platform` and
+	// the service's "platform" request field accept. Every catalog
+	// platform round-trips through its JSON spec byte-for-byte; the
+	// copies under examples/platforms/ are exactly these bytes.
+	fmt.Println("\nbundled platform catalog:")
+	for _, name := range heteropart.PlatformNames() {
+		plat, err := heteropart.PlatformByName(name, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %s\n", name, plat)
+		fmt.Printf("  %14s fingerprint %s\n", "", heteropart.PlatformFingerprint(plat))
+	}
+	cat, err := heteropart.PlatformByName("tri-asym-p2p", 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := run(cat, 3, "SP-Single")
+	fmt.Printf("\nSP-Single on tri-asym-p2p:    %8.1f ms\n", out.Result.Makespan.Milliseconds())
 }

@@ -78,6 +78,25 @@ type (
 	Efficiency = device.Efficiency
 	// Precision selects single or double precision peaks.
 	Precision = device.Precision
+	// P2PEdge is a direct accelerator<->accelerator link on a
+	// platform's topology graph.
+	P2PEdge = device.P2PEdge
+	// PlatformSpec is the JSON-serializable platform description: the
+	// catalog entry format, the payload of hetsim -platform-in, and
+	// the body of GET /v1/platforms entries.
+	PlatformSpec = device.Spec
+	// CostModel prices kernel work on a device; the simulator's
+	// virtual clock, Glinda predictions and DP-Perf estimates all go
+	// through the platform's model.
+	CostModel = device.CostModel
+	// RooflineCost is the paper's roofline cost model, the platform
+	// default.
+	RooflineCost = device.Roofline
+	// CalibratedCost wraps a base cost model with per-(kernel, device)
+	// multiplicative overrides from calibration runs.
+	CalibratedCost = device.Calibrated
+	// CostScale is one calibrated override.
+	CostScale = device.Scale
 )
 
 // Device kinds and precisions.
@@ -231,6 +250,37 @@ func NewPlatform(cpu DeviceModel, cpuThreads int, accels ...Attachment) (*Platfo
 	return device.NewPlatform(cpu, cpuThreads, accels...)
 }
 
+// PlatformFromJSON decodes, validates and instantiates a serialized
+// PlatformSpec; threads > 0 overrides the spec's host thread count.
+// Failures wrap ErrPlatformInvalid.
+func PlatformFromJSON(data []byte, threads int) (*Platform, error) {
+	return device.PlatformFromJSON(data, threads)
+}
+
+// PlatformSpecFromJSON decodes and validates a serialized
+// PlatformSpec without instantiating it; failures wrap
+// ErrPlatformInvalid.
+func PlatformSpecFromJSON(data []byte) (*PlatformSpec, error) {
+	return device.SpecFromJSON(data)
+}
+
+// PlatformNames lists the bundled platform catalog (the paper's
+// testbed plus the extension topologies), sorted.
+func PlatformNames() []string { return device.SpecNames() }
+
+// PlatformByName instantiates a bundled catalog platform; threads > 0
+// overrides the spec's host thread count. Unknown names wrap
+// ErrPlatformInvalid.
+func PlatformByName(name string, threads int) (*Platform, error) {
+	return device.ByName(name, threads)
+}
+
+// PlatformSpecByName returns a bundled catalog platform spec; unknown
+// names wrap ErrPlatformInvalid.
+func PlatformSpecByName(name string) (*PlatformSpec, error) {
+	return device.SpecByName(name)
+}
+
 // Device catalog (datasheet models ready to attach).
 var (
 	XeonE5_2620  = device.XeonE5_2620
@@ -285,6 +335,10 @@ var (
 	// ErrPlanInvalid: an ExecutionPlan failed validation, decoding, or
 	// binding to its problem.
 	ErrPlanInvalid = apierr.ErrPlanInvalid
+	// ErrPlatformInvalid: a PlatformSpec or Platform describes a
+	// degenerate machine (zero devices, unreachable device,
+	// zero-bandwidth link, unknown model or catalog name).
+	ErrPlatformInvalid = apierr.ErrPlatformInvalid
 	// ErrPlatformMismatch: a plan was executed on a platform other than
 	// the one it was decided for.
 	ErrPlatformMismatch = apierr.ErrPlatformMismatch

@@ -38,6 +38,12 @@ var (
 	// ErrNilOutcome reports an outcome with no execution result where
 	// one is required (heteropart.RecordRun).
 	ErrNilOutcome = errors.New("outcome has no result")
+	// ErrPlatformInvalid reports a PlatformSpec or Platform that
+	// describes a degenerate machine: zero devices, an unreachable
+	// device (zero-bandwidth link), an unknown model name, a dangling
+	// P2P edge (device.Spec.Validate, device.PlatformFromJSON,
+	// device.ByName).
+	ErrPlatformInvalid = errors.New("invalid platform")
 	// ErrFaultInvalid reports a FaultSchedule that fails decoding or
 	// validation (fault.FromJSON, fault.Schedule.Validate).
 	ErrFaultInvalid = errors.New("invalid fault schedule")

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"strings"
 
 	"heteropart/internal/sim"
 )
@@ -107,9 +108,28 @@ func PCIeGen3x16() Link {
 type Attachment struct {
 	Model Model
 	Link  Link
+	// Bus optionally names the shared host bus the link rides on.
+	// Accelerators naming the same bus contend for one set of link
+	// resources (their transfers serialize against each other); an
+	// empty name keeps the default dedicated attachment.
+	Bus string
 }
 
-// Platform is a host CPU plus zero or more attached accelerators.
+// P2PEdge is an optional direct accelerator↔accelerator link. With an
+// edge present, device-to-device transfers between A and B take the
+// edge in one hop instead of staging through host memory. Direction
+// A→B prices with the link's HtoD figures, B→A with DtoH.
+type P2PEdge struct {
+	// A and B are accelerator IDs (1-based); A < B by convention.
+	A, B int
+	Link Link
+}
+
+// Platform is a host CPU plus zero or more attached accelerators,
+// joined by a link graph and priced by a cost model. The zero values
+// of the optional fields (nil Buses/P2P/Cost) reproduce the paper's
+// implicit topology — dedicated host links, no peer edges, roofline
+// pricing — byte-for-byte.
 type Platform struct {
 	// Host is device 0, the CPU.
 	Host *Device
@@ -117,6 +137,13 @@ type Platform struct {
 	Accels []*Device
 	// Links[i] connects Accels[i] to the host.
 	Links []Link
+	// Buses[i] names the shared bus Links[i] rides on ("" = dedicated).
+	// Nil means every attachment is dedicated.
+	Buses []string
+	// P2P holds the direct accelerator↔accelerator edges, if any.
+	P2P []P2PEdge
+	// Cost prices kernel work; nil means Roofline (the paper's model).
+	Cost CostModel
 }
 
 // NewPlatform builds a platform. cpuThreads is the number of SMP worker
@@ -134,12 +161,22 @@ func NewPlatform(cpu Model, cpuThreads int, accels ...Attachment) (*Platform, er
 	p := &Platform{
 		Host: &Device{Model: cpu, ID: 0, Share: cpuThreads},
 	}
+	anyBus := false
 	for i, a := range accels {
 		if a.Model.Kind == CPU {
 			return nil, fmt.Errorf("device: accelerator %d (%s) cannot be of kind CPU", i+1, a.Model.Name)
 		}
 		p.Accels = append(p.Accels, &Device{Model: a.Model, ID: i + 1, Share: 1})
 		p.Links = append(p.Links, a.Link)
+		if a.Bus != "" {
+			anyBus = true
+		}
+	}
+	if anyBus {
+		p.Buses = make([]string, len(accels))
+		for i, a := range accels {
+			p.Buses[i] = a.Bus
+		}
 	}
 	return p, nil
 }
@@ -183,21 +220,129 @@ func (p *Platform) LinkOf(id int) Link {
 	return Link{}
 }
 
+// BusOf returns the name of the shared bus the accelerator's host
+// link rides on, or "" for a dedicated attachment (the default).
+func (p *Platform) BusOf(id int) string {
+	if id >= 1 && id <= len(p.Buses) {
+		return p.Buses[id-1]
+	}
+	return ""
+}
+
+// P2PLinkOf returns the direct link between accelerators a and b, if
+// one exists. forward reports the edge's stored direction: true when
+// the edge is (a→b) as asked (price with HtoD figures), false when it
+// is the reverse edge (price with DtoH). Edges are symmetric in
+// reachability, directional only in bandwidth figures.
+func (p *Platform) P2PLinkOf(a, b int) (l Link, forward, ok bool) {
+	for _, e := range p.P2P {
+		if e.A == a && e.B == b {
+			return e.Link, true, true
+		}
+		if e.A == b && e.B == a {
+			return e.Link, false, true
+		}
+	}
+	return Link{}, false, false
+}
+
 // CPUThreads reports the number of host worker threads m.
 func (p *Platform) CPUThreads() int { return p.Host.Share }
+
+// Fingerprint renders the platform's identity from its contents:
+// device models, thread count, link characteristics, and — only when
+// present — bus topology, peer edges, and a non-default cost model.
+// The paper platform (and every pre-topology platform) renders
+// exactly as it did before the platform layer became pluggable, so
+// existing plans, cache keys and bundles stay valid.
+func (p *Platform) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/m=%d/%.1f/%.1f", p.Host.Name, p.Host.Share,
+		p.Host.PeakSPGFLOPS, p.Host.MemBWGBps)
+	for _, a := range p.Accels {
+		l := p.LinkOf(a.ID)
+		fmt.Fprintf(&b, "+%s/%.1f/%.1f/link=%.1f:%.1f:%d:%t",
+			a.Name, a.PeakSPGFLOPS, a.MemBWGBps,
+			l.HtoDGBps, l.DtoHGBps, int64(l.Latency), l.Duplex)
+		if bus := p.BusOf(a.ID); bus != "" {
+			fmt.Fprintf(&b, "/bus=%s", bus)
+		}
+	}
+	for _, e := range p.P2P {
+		fmt.Fprintf(&b, "+p2p=%d-%d:%.1f:%.1f:%d:%t",
+			e.A, e.B, e.Link.HtoDGBps, e.Link.DtoHGBps,
+			int64(e.Link.Latency), e.Link.Duplex)
+	}
+	if c := p.CostModelOf().Canonical(); c != "" {
+		fmt.Fprintf(&b, "+cost=%s", c)
+	}
+	return b.String()
+}
+
+// Validate checks the platform describes a usable machine. Violations
+// are reported by the spec layer wrapping apierr.ErrPlatformInvalid;
+// this method returns plain errors so the device package stays
+// dependency-free.
+func (p *Platform) Validate() error {
+	if p == nil || p.Host == nil {
+		return fmt.Errorf("platform has no devices (nil host)")
+	}
+	if p.Host.Kind != CPU {
+		return fmt.Errorf("host device must be a CPU, got %v", p.Host.Kind)
+	}
+	if p.Host.Share <= 0 {
+		return fmt.Errorf("host thread count m=%d must be positive", p.Host.Share)
+	}
+	if len(p.Links) != len(p.Accels) {
+		return fmt.Errorf("platform has %d accelerators but %d links", len(p.Accels), len(p.Links))
+	}
+	if p.Buses != nil && len(p.Buses) != len(p.Accels) {
+		return fmt.Errorf("platform has %d accelerators but %d bus entries", len(p.Accels), len(p.Buses))
+	}
+	for i, a := range p.Accels {
+		if a.ID != i+1 {
+			return fmt.Errorf("accelerator %d has ID %d (IDs must be contiguous from 1)", i+1, a.ID)
+		}
+		if a.Kind == CPU {
+			return fmt.Errorf("accelerator %d (%s) cannot be of kind CPU", a.ID, a.Name)
+		}
+		l := p.Links[i]
+		if l.HtoDGBps <= 0 || l.DtoHGBps <= 0 {
+			return fmt.Errorf("accelerator %d (%s) is unreachable: host link has zero bandwidth (%.1f/%.1f GB/s)",
+				a.ID, a.Name, l.HtoDGBps, l.DtoHGBps)
+		}
+	}
+	for _, e := range p.P2P {
+		if e.A < 1 || e.A > len(p.Accels) || e.B < 1 || e.B > len(p.Accels) {
+			return fmt.Errorf("p2p edge %d-%d references a device the platform does not have", e.A, e.B)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("p2p edge %d-%d is a self-loop", e.A, e.B)
+		}
+		if e.Link.HtoDGBps <= 0 || e.Link.DtoHGBps <= 0 {
+			return fmt.Errorf("p2p edge %d-%d has zero bandwidth (%.1f/%.1f GB/s)",
+				e.A, e.B, e.Link.HtoDGBps, e.Link.DtoHGBps)
+		}
+	}
+	return nil
+}
 
 // Without returns a copy of the platform with the accelerator of the
 // given ID removed: the survivors renumber contiguously (IDs above the
 // removed one shift down by one, keeping the 1..n invariant every
-// layer assumes). The host cannot be removed. The original platform is
-// untouched — devices are copied, so a degraded platform never aliases
-// the one a plan was decided for.
+// layer assumes), and the link graph renumbers in lockstep — the
+// removed device's bus entry disappears, P2P edges touching it are
+// dropped, and surviving edges re-point at the shifted IDs. The host
+// cannot be removed. The original platform is untouched — devices are
+// copied, so a degraded platform never aliases the one a plan was
+// decided for.
 func (p *Platform) Without(id int) (*Platform, error) {
 	if id < 1 || id > len(p.Accels) {
 		return nil, fmt.Errorf("device: platform has no accelerator %d to remove", id)
 	}
 	host := *p.Host
-	out := &Platform{Host: &host}
+	out := &Platform{Host: &host, Cost: p.Cost}
+	anyBus := false
 	for i, a := range p.Accels {
 		if a.ID == id {
 			continue
@@ -206,6 +351,30 @@ func (p *Platform) Without(id int) (*Platform, error) {
 		d.ID = len(out.Accels) + 1
 		out.Accels = append(out.Accels, &d)
 		out.Links = append(out.Links, p.Links[i])
+		if p.BusOf(a.ID) != "" {
+			anyBus = true
+		}
+	}
+	if anyBus {
+		out.Buses = make([]string, 0, len(out.Accels))
+		for _, a := range p.Accels {
+			if a.ID == id {
+				continue
+			}
+			out.Buses = append(out.Buses, p.BusOf(a.ID))
+		}
+	}
+	shift := func(v int) int {
+		if v > id {
+			return v - 1
+		}
+		return v
+	}
+	for _, e := range p.P2P {
+		if e.A == id || e.B == id {
+			continue
+		}
+		out.P2P = append(out.P2P, P2PEdge{A: shift(e.A), B: shift(e.B), Link: e.Link})
 	}
 	return out, nil
 }

@@ -55,6 +55,9 @@ type Directory struct {
 	buffers map[int]*bufState
 	nextID  int
 	err     error
+	// prefer, when non-nil, orders candidate sources per destination
+	// (SetSourcePreference); nil means the host-first default.
+	prefer func(to Space) []Space
 }
 
 type bufState struct {
@@ -148,13 +151,15 @@ func (d *Directory) MissingIn(b *Buffer, s Space, iv Interval) []Interval {
 // the start of iv the update has been lost, which is a coherence bug —
 // reported as an error.
 func (d *Directory) SourceOf(b *Buffer, iv Interval) (Space, Interval, error) {
+	return d.sourceFor(b, iv, d.searchOrder())
+}
+
+func (d *Directory) sourceFor(b *Buffer, iv Interval, order []Space) (Space, Interval, error) {
 	st := d.state(b)
 	if st == nil {
 		return 0, Interval{}, unregistered(b)
 	}
-	// Prefer the host: taskwait keeps it whole, and host-sourced
-	// transfers match OmpSs behaviour.
-	for _, s := range d.searchOrder() {
+	for _, s := range order {
 		v := &st.valid[s]
 		if !v.ContainsPoint(iv.Lo) {
 			continue
@@ -169,6 +174,9 @@ func (d *Directory) SourceOf(b *Buffer, iv Interval) (Space, Interval, error) {
 	return 0, Interval{}, fmt.Errorf("mem: %s%v valid nowhere (lost update?)", b.Name, iv)
 }
 
+// searchOrder is the default source preference: the host first
+// (taskwait keeps it whole, and host-sourced transfers match OmpSs
+// behaviour), then devices in ID order.
 func (d *Directory) searchOrder() []Space {
 	order := make([]Space, d.spaces)
 	for i := range order {
@@ -177,15 +185,38 @@ func (d *Directory) searchOrder() []Space {
 	return order
 }
 
+// SetSourcePreference installs a per-destination source ordering used
+// by TransfersForRead's route selection. The runtime derives it from
+// the platform's link graph — e.g. preferring a peer with a direct
+// P2P edge over a host round-trip — for platforms whose topology
+// makes the default host-first order suboptimal. order(to) must
+// return every space exactly once, deterministically; nil restores
+// the default. SourceOf (the exported single-lookup form) always uses
+// the default order so its contract stays stable.
+func (d *Directory) SetSourcePreference(order func(to Space) []Space) {
+	d.prefer = order
+}
+
+// orderFor resolves the source ordering for reads destined to space s.
+func (d *Directory) orderFor(s Space) []Space {
+	if d.prefer != nil {
+		return d.prefer(s)
+	}
+	return d.searchOrder()
+}
+
 // TransfersForRead computes the transfers needed before space s can read
 // iv of b. It does not mutate state; apply each transfer with Commit.
 // It fails when some required element is valid nowhere (lost update).
+// Source selection follows the installed source preference (see
+// SetSourcePreference), defaulting to host-first.
 func (d *Directory) TransfersForRead(b *Buffer, s Space, iv Interval) ([]Transfer, error) {
 	var out []Transfer
+	order := d.orderFor(s)
 	for _, missing := range d.MissingIn(b, s, iv) {
 		cur := missing
 		for !cur.Empty() {
-			src, prefix, err := d.SourceOf(b, cur)
+			src, prefix, err := d.sourceFor(b, cur, order)
 			if err != nil {
 				return nil, err
 			}

@@ -24,7 +24,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
 
 	"heteropart/internal/apierr"
 	"heteropart/internal/apps"
@@ -133,16 +132,7 @@ func Fingerprint(p *device.Platform) string {
 	if p == nil {
 		return "(nil)"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s/m=%d/%.1f/%.1f", p.Host.Name, p.Host.Share,
-		p.Host.PeakSPGFLOPS, p.Host.MemBWGBps)
-	for _, a := range p.Accels {
-		l := p.LinkOf(a.ID)
-		fmt.Fprintf(&b, "+%s/%.1f/%.1f/link=%.1f:%.1f:%d:%t",
-			a.Name, a.PeakSPGFLOPS, a.MemBWGBps,
-			l.HtoDGBps, l.DtoHGBps, int64(l.Latency), l.Duplex)
-	}
-	return b.String()
+	return p.Fingerprint()
 }
 
 // Validate checks the plan's internal consistency. The rules:

@@ -72,6 +72,16 @@ type rtMetrics struct {
 	faultStalledC   *metrics.Counter
 	faultStallNs    *metrics.Counter
 	faultFired      map[string]*metrics.Counter
+
+	// P2P series, bound only on platforms with peer edges so the
+	// default topology's exposition is unchanged:
+	//
+	//	rt_transfers_total{dir="p2p"}      direct peer transfers
+	//	rt_transfer_bytes_total{dir="p2p"} direct peer payload bytes
+	//	rt_transfer_ns_total{dir="p2p"}    peer-link occupancy
+	p2pCount *metrics.Counter
+	p2pBytes *metrics.Counter
+	p2pNs    *metrics.Counter
 }
 
 // dirIndex maps a transfer direction to its series slot.
@@ -133,6 +143,14 @@ func newRTMetrics(r *metrics.Registry, plat *device.Platform, faulted bool) *rtM
 	m.simEvents = r.Gauge("sim_events_total", "discrete events dispatched by the engine")
 	m.simWallNs = r.Gauge("sim_wall_ns", "real time spent inside the event loop")
 	m.simRatio = r.Gauge("sim_virtual_wall_ratio", "virtual time per unit of wall time")
+	if len(plat.P2P) > 0 {
+		m.p2pCount = r.Counter(metrics.Label("rt_transfers_total", "dir", "p2p"),
+			"direct device<->device transfers over peer links")
+		m.p2pBytes = r.Counter(metrics.Label("rt_transfer_bytes_total", "dir", "p2p"),
+			"payload bytes moved over peer links")
+		m.p2pNs = r.Counter(metrics.Label("rt_transfer_ns_total", "dir", "p2p"),
+			"peer-link occupancy virtual nanoseconds")
+	}
 	if faulted {
 		m.faultPerturbedC = r.Counter("fault_perturbed_chunks_total",
 			"kernel-chunk durations scaled by an injected slowdown or jitter")
@@ -190,6 +208,15 @@ func (m *rtMetrics) transferDone(toDev bool, bytes int64, span sim.Duration) {
 	m.xferCount[i].Inc()
 	m.xferBytes[i].Add(bytes)
 	m.xferNs[i].Add(int64(span))
+}
+
+func (m *rtMetrics) p2pDone(bytes int64, span sim.Duration) {
+	if m == nil || m.p2pCount == nil {
+		return
+	}
+	m.p2pCount.Inc()
+	m.p2pBytes.Add(bytes)
+	m.p2pNs.Add(int64(span))
 }
 
 func (m *rtMetrics) taskwaitDone(drain sim.Duration) {

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"heteropart/internal/apierr"
 	"heteropart/internal/device"
@@ -86,8 +87,11 @@ type Result struct {
 	// DeviceBusy is kernel-execution time per device (transfers and
 	// decision overheads excluded).
 	DeviceBusy map[int]sim.Duration
-	// HtoDBytes/DtoHBytes/TransferCount total the PCIe traffic.
+	// HtoDBytes/DtoHBytes total the host↔device traffic; P2PBytes
+	// totals direct device↔device traffic over peer links (zero on
+	// platforms without P2P edges). TransferCount counts all of them.
 	HtoDBytes, DtoHBytes int64
+	P2PBytes             int64
 	TransferCount        int
 	// Decisions counts dynamic scheduling decisions taken.
 	Decisions int
@@ -133,7 +137,11 @@ func (r *Result) KernelGPURatio(kernel string) float64 {
 // (DP-Perf) and want clamping as virtual time advances.
 type clockSyncer interface{ SyncClock(sim.Time) }
 
-// linkRes models one accelerator's host attachment as sim resources.
+// linkRes models one link of the platform graph as sim resources: an
+// accelerator's host attachment, or one direction pair of a P2P edge.
+// Accelerators sharing a bus share the underlying resources, so their
+// transfers serialize against each other while still pricing with
+// their own link figures.
 type linkRes struct {
 	link device.Link
 	htod *sim.Resource
@@ -155,6 +163,9 @@ type engine struct {
 	plan *task.Plan
 
 	links map[int]*linkRes
+	// p2p maps ordered accel pairs (edge direction as declared) to
+	// their link resources; lookup tries both orientations.
+	p2p map[[2]int]*linkRes
 	// devQ are per-device FIFO queues of bound instances.
 	devQ map[int][]*task.Instance
 	// central is the ready queue for pull policies.
@@ -267,18 +278,56 @@ func Execute(cfg Config, plan *task.Plan, dir *mem.Directory) (*Result, error) {
 			e.inBatch = false
 		},
 		func() { e.dispatchAll() })
+	busHtoD := make(map[string]*sim.Resource)
+	busDtoH := make(map[string]*sim.Resource)
 	for _, a := range cfg.Platform.Accels {
 		e.slots[a.ID] = 1
 		e.idle[a.ID] = 1
 		l := cfg.Platform.LinkOf(a.ID)
 		lr := &linkRes{link: l}
-		lr.htod = sim.NewResource(e.eng, fmt.Sprintf("link%d.htod", a.ID))
-		if l.Duplex {
-			lr.dtoh = sim.NewResource(e.eng, fmt.Sprintf("link%d.dtoh", a.ID))
+		if bus := cfg.Platform.BusOf(a.ID); bus != "" {
+			// Shared bus: every attachment on it contends for one
+			// resource set, so concurrent transfers serialize.
+			if busHtoD[bus] == nil {
+				busHtoD[bus] = sim.NewResource(e.eng, fmt.Sprintf("bus.%s.htod", bus))
+			}
+			lr.htod = busHtoD[bus]
+			if l.Duplex {
+				if busDtoH[bus] == nil {
+					busDtoH[bus] = sim.NewResource(e.eng, fmt.Sprintf("bus.%s.dtoh", bus))
+				}
+				lr.dtoh = busDtoH[bus]
+			} else {
+				lr.dtoh = lr.htod
+			}
 		} else {
-			lr.dtoh = lr.htod
+			lr.htod = sim.NewResource(e.eng, fmt.Sprintf("link%d.htod", a.ID))
+			if l.Duplex {
+				lr.dtoh = sim.NewResource(e.eng, fmt.Sprintf("link%d.dtoh", a.ID))
+			} else {
+				lr.dtoh = lr.htod
+			}
 		}
 		e.links[a.ID] = lr
+	}
+	if n := len(cfg.Platform.P2P); n > 0 {
+		e.p2p = make(map[[2]int]*linkRes, n)
+		for i, edge := range cfg.Platform.P2P {
+			lr := &linkRes{link: edge.Link}
+			lr.htod = sim.NewResource(e.eng, fmt.Sprintf("p2p%d.fwd", i))
+			if edge.Link.Duplex {
+				lr.dtoh = sim.NewResource(e.eng, fmt.Sprintf("p2p%d.rev", i))
+			} else {
+				lr.dtoh = lr.htod
+			}
+			e.p2p[[2]int{edge.A, edge.B}] = lr
+		}
+		// Route selection: reads destined to an accelerator prefer
+		// sources reachable in one hop over those needing a host
+		// round-trip (see DESIGN.md §13). Installed only on platforms
+		// with peer edges, so the default topology keeps the exact
+		// host-first legacy order.
+		dir.SetSourcePreference(e.sourceOrder)
 	}
 
 	// Validate pins, kernel implementations, and count work.
@@ -479,6 +528,73 @@ func (e *engine) flushThen(cont func()) {
 	})
 }
 
+// sourceOrder ranks candidate source spaces for reads destined to
+// space `to` against the platform's link graph: one-hop sources first
+// (the host over the accel's own attachment, peers with a direct P2P
+// edge) ordered by descending bandwidth toward the destination with
+// ties broken by ascending ID, then the remaining spaces (which would
+// stage through the host) in ascending ID order. Host-destined reads
+// keep the host-first default. The ordering is a pure function of the
+// immutable platform, so runs stay deterministic.
+func (e *engine) sourceOrder(to mem.Space) []mem.Space {
+	n := 1 + len(e.cfg.Platform.Accels)
+	order := make([]mem.Space, 0, n)
+	if to == mem.HostSpace {
+		for i := 0; i < n; i++ {
+			order = append(order, mem.Space(i))
+		}
+		return order
+	}
+	dst := int(to)
+	type cand struct {
+		space mem.Space
+		bw    float64
+	}
+	var oneHop []cand
+	oneHop = append(oneHop, cand{mem.HostSpace, e.cfg.Platform.LinkOf(dst).HtoDGBps})
+	twoHop := make([]mem.Space, 0, n)
+	for _, a := range e.cfg.Platform.Accels {
+		if a.ID == dst {
+			continue
+		}
+		if l, fwd, ok := e.cfg.Platform.P2PLinkOf(a.ID, dst); ok {
+			bw := l.HtoDGBps
+			if !fwd {
+				bw = l.DtoHGBps
+			}
+			oneHop = append(oneHop, cand{mem.Space(a.ID), bw})
+		} else {
+			twoHop = append(twoHop, mem.Space(a.ID))
+		}
+	}
+	sort.SliceStable(oneHop, func(i, j int) bool {
+		if oneHop[i].bw != oneHop[j].bw {
+			return oneHop[i].bw > oneHop[j].bw
+		}
+		return oneHop[i].space < oneHop[j].space
+	})
+	for _, c := range oneHop {
+		order = append(order, c.space)
+	}
+	order = append(order, twoHop...)
+	order = append(order, to) // destination itself: already-valid data needs no move
+	return order
+}
+
+// p2pRes finds the resource set for a direct transfer from one accel
+// to another, trying both edge orientations. fwd reports whether the
+// transfer runs in the edge's declared direction (HtoD figures) or
+// the reverse (DtoH figures).
+func (e *engine) p2pRes(from, to int) (lr *linkRes, fwd bool, ok bool) {
+	if lr, ok := e.p2p[[2]int{from, to}]; ok {
+		return lr, true, true
+	}
+	if lr, ok := e.p2p[[2]int{to, from}]; ok {
+		return lr, false, true
+	}
+	return nil, false, false
+}
+
 // xferKey identifies the destination of an in-flight transfer.
 type xferKey struct {
 	buf int
@@ -524,14 +640,20 @@ func (e *engine) ensure(transfers []mem.Transfer, done func()) {
 	fire()
 }
 
-// runTransfer performs one directory transfer over the modeled links,
-// splitting device-to-device moves into two legs through the host,
-// registering the in-flight record, and committing the directory state
-// at completion.
+// runTransfer performs one directory transfer over the modeled link
+// graph: host↔device moves ride the device's attachment (contending
+// with bus mates when the attachment names a shared bus),
+// device↔device moves take a direct P2P edge when the platform has
+// one and otherwise stage through the host in two legs. It registers
+// the in-flight record and commits the directory state at completion.
 func (e *engine) runTransfer(tr mem.Transfer, done func()) {
 	from, to := int(tr.From), int(tr.To)
 	if from != 0 && to != 0 {
-		// Accelerator to accelerator: stage through the host.
+		if lr, fwd, ok := e.p2pRes(from, to); ok {
+			e.runP2P(tr, lr, fwd, done)
+			return
+		}
+		// No peer edge: stage through the host.
 		leg1 := mem.Transfer{Buf: tr.Buf, Interval: tr.Interval, From: tr.From, To: mem.HostSpace}
 		leg2 := mem.Transfer{Buf: tr.Buf, Interval: tr.Interval, From: mem.HostSpace, To: tr.To}
 		e.runTransfer(leg1, func() { e.runTransfer(leg2, done) })
@@ -588,6 +710,57 @@ func (e *engine) runTransfer(tr mem.Transfer, done func()) {
 			})
 			e.mx.transferDone(toDev, tr.Bytes(), e.eng.Now()-startAt)
 			e.sp.transferDone(tr.Buf.Name, accel, toDev, tr.Bytes(), startAt, e.eng.Now())
+			done()
+			for _, s := range fl.subs {
+				s()
+			}
+		})
+}
+
+// runP2P performs one direct device↔device transfer over a peer
+// edge: one leg, no host staging, priced with the edge's figures in
+// the transfer's direction. The in-flight dedup and fault hooks work
+// exactly as for host transfers; the fault draw targets the source
+// device (the one streaming the data out).
+func (e *engine) runP2P(tr mem.Transfer, lr *linkRes, fwd bool, done func()) {
+	from, to := int(tr.From), int(tr.To)
+	extra, ferr := e.cfg.Faults.TransferStart(int64(e.eng.Now()), from)
+	if ferr != nil {
+		e.faultFired(ferr, tr.Buf.Name)
+		return
+	}
+	key := xferKey{tr.Buf.ID, tr.To}
+	fl := &inflightXfer{iv: tr.Interval}
+	e.inflight[key] = append(e.inflight[key], fl)
+	dur := lr.link.TransferTime(tr.Bytes(), fwd)
+	if extra > 0 {
+		dur += sim.Duration(extra)
+		e.mx.faultStalled(extra)
+	}
+	var startAt sim.Time
+	lr.res(fwd).Acquire(dur,
+		func() { startAt = e.eng.Now() },
+		func() {
+			if err := e.dir.Commit(tr); err != nil {
+				e.fail(err)
+				return
+			}
+			list := e.inflight[key]
+			for i, x := range list {
+				if x == fl {
+					e.inflight[key] = append(list[:i:i], list[i+1:]...)
+					break
+				}
+			}
+			e.res.TransferCount++
+			e.res.P2PBytes += tr.Bytes()
+			e.cfg.Trace.Add(trace.Record{
+				Kind: trace.Transfer, Start: startAt, End: e.eng.Now(),
+				Device: to, Label: fmt.Sprintf("%s(p2p %d->%d)", tr.Buf.Name, from, to),
+				Bytes: tr.Bytes(), ToDev: true,
+			})
+			e.mx.p2pDone(tr.Bytes(), e.eng.Now()-startAt)
+			e.sp.transferDone(tr.Buf.Name, to, true, tr.Bytes(), startAt, e.eng.Now())
 			done()
 			for _, s := range fl.subs {
 				s()
@@ -751,15 +924,20 @@ func (e *engine) exec(in *task.Instance, d *device.Device) {
 	}
 	eff := in.Kernel.EffOn(d.Kind)
 	w := in.Work()
+	// Kernel work is priced through the platform's cost model (the
+	// roofline by default), so calibrated per-kernel overrides reach
+	// the virtual clock, DP-Perf's learned rates (which observe these
+	// durations), and Glinda's probes (which execute through here)
+	// from one place.
 	if d.ID == 0 && d.Share > 1 {
 		// Host: full-speed demand under processor sharing.
-		e.ps.Add(in, perturb(d.ExecTimeFull(w, eff), factor))
+		e.ps.Add(in, perturb(e.cfg.Platform.ExecCostFull(d, in.Kernel.Name, w, eff), factor))
 		if factor != 1 {
 			e.mx.faultPerturbed()
 		}
 		return
 	}
-	dur := perturb(d.ExecTime(w, eff), factor)
+	dur := perturb(e.cfg.Platform.ExecCost(d, in.Kernel.Name, w, eff), factor)
 	if factor != 1 {
 		e.mx.faultPerturbed()
 	}

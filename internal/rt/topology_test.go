@@ -1,0 +1,124 @@
+package rt
+
+import (
+	"testing"
+
+	"heteropart/internal/device"
+	"heteropart/internal/mem"
+	"heteropart/internal/sched"
+	"heteropart/internal/sim"
+	"heteropart/internal/task"
+)
+
+// dualGPUPlatform builds the contention fixture: two identical GPUs on
+// 1 GB/s duplex links, either each on a dedicated link or both behind
+// one shared bus.
+func dualGPUPlatform(m int, sharedBus bool) *device.Platform {
+	cpu := device.Model{
+		Name: "testcpu", Kind: device.CPU, Cores: m, HWThreads: m,
+		PeakSPGFLOPS: 100, PeakDPGFLOPS: 100, MemBWGBps: 100,
+	}
+	gpu := device.Model{
+		Name: "testgpu", Kind: device.GPU, Cores: 1,
+		PeakSPGFLOPS: 1000, PeakDPGFLOPS: 1000, MemBWGBps: 1000,
+	}
+	link := device.Link{HtoDGBps: 1, DtoHGBps: 1, Duplex: true}
+	bus := ""
+	if sharedBus {
+		bus = "pcie0"
+	}
+	p, _ := device.NewPlatform(cpu, m,
+		device.Attachment{Model: gpu, Link: link, Bus: bus},
+		device.Attachment{Model: gpu, Link: link, Bus: bus},
+	)
+	return p
+}
+
+// TestSharedBusSerializesTransfers pins one chunk per GPU so both
+// upload at t=0. On dedicated links the uploads overlap; behind one
+// shared bus they serialize, and the makespan stretches by exactly one
+// transfer on each of the upload and flush paths.
+func TestSharedBusSerializesTransfers(t *testing.T) {
+	run := func(sharedBus bool) *Result {
+		plat := dualGPUPlatform(2, sharedBus)
+		dir := mem.NewDirectory(3)
+		a := dir.Register("a", 1000, 8) // 8000 B each
+		b := dir.Register("b", 1000, 8)
+		ka := flopsKernel("ka", a, 1e6) // 1e9 flops → 1 ms on a GPU
+		kb := flopsKernel("kb", b, 1e6)
+		var p task.Plan
+		p.Submit(ka, 0, 1000, 1, -1)
+		p.Submit(kb, 0, 1000, 2, -1)
+		p.Barrier()
+		return mustExecute(t, Config{Platform: plat, Scheduler: sched.NewStatic()}, &p, dir)
+	}
+
+	// Dedicated links: HtoD 8 µs ∥ exec 1 ms ∥ flush 8 µs per GPU,
+	// fully overlapped across the two GPUs.
+	dedicated := run(false)
+	if want := sim.DurationOf(8e-6 + 1e-3 + 8e-6); dedicated.Makespan != want {
+		t.Fatalf("dedicated makespan = %v, want %v", dedicated.Makespan, want)
+	}
+	// Shared bus: the second upload waits for the first (htod resource),
+	// and the second flush waits for the first (dtoh resource): 8 µs
+	// more on each path.
+	shared := run(true)
+	if want := sim.DurationOf(16e-6 + 1e-3 + 8e-6); shared.Makespan != want {
+		t.Fatalf("shared-bus makespan = %v, want %v", shared.Makespan, want)
+	}
+	if shared.Makespan <= dedicated.Makespan {
+		t.Fatalf("shared bus did not contend: %v <= %v", shared.Makespan, dedicated.Makespan)
+	}
+	// Contention changes timing only, never traffic.
+	if shared.HtoDBytes != dedicated.HtoDBytes || shared.DtoHBytes != dedicated.DtoHBytes {
+		t.Fatalf("traffic differs: shared %d/%d vs dedicated %d/%d",
+			shared.HtoDBytes, shared.DtoHBytes, dedicated.HtoDBytes, dedicated.DtoHBytes)
+	}
+}
+
+// TestP2PTransfersSkipHostStaging hands a buffer written on GPU 1 to a
+// reader on GPU 2. Without a peer link the runtime stages through the
+// host (DtoH + HtoD); with one it moves the data in a single direct
+// leg, counted as P2P traffic.
+func TestP2PTransfersSkipHostStaging(t *testing.T) {
+	run := func(p2p bool) *Result {
+		plat := dualGPUPlatform(2, false)
+		if p2p {
+			plat.P2P = []device.P2PEdge{{A: 1, B: 2,
+				Link: device.Link{HtoDGBps: 10, DtoHGBps: 10, Duplex: true}}}
+		}
+		dir := mem.NewDirectory(3)
+		buf := dir.Register("a", 1000, 8)
+		k := flopsKernel("k", buf, 1e6)
+		var p task.Plan
+		p.Submit(k, 0, 1000, 1, -1) // GPU 1 writes the whole buffer
+		p.Submit(k, 0, 1000, 2, -1) // GPU 2 reads it back
+		p.Barrier()
+		return mustExecute(t, Config{Platform: plat, Scheduler: sched.NewStatic()}, &p, dir)
+	}
+
+	staged := run(false)
+	// Upload to GPU 1, stage DtoH + HtoD to reach GPU 2, final flush.
+	if staged.HtoDBytes != 16000 || staged.DtoHBytes != 16000 || staged.P2PBytes != 0 {
+		t.Fatalf("staged traffic = htod %d dtoh %d p2p %d, want 16000/16000/0",
+			staged.HtoDBytes, staged.DtoHBytes, staged.P2PBytes)
+	}
+
+	direct := run(true)
+	// Upload to GPU 1, one direct peer leg to GPU 2. The host still
+	// sees two DtoH legs — GPU 1's eager writeback (off the critical
+	// path, overlapping GPU 2's work) and the final flush — but no HtoD
+	// re-upload: the reader never staged through the host.
+	if direct.P2PBytes != 8000 {
+		t.Fatalf("p2p traffic = %d, want 8000", direct.P2PBytes)
+	}
+	if direct.HtoDBytes != 8000 || direct.DtoHBytes != 16000 {
+		t.Fatalf("direct traffic = htod %d dtoh %d, want 8000/16000 (no HtoD re-upload)",
+			direct.HtoDBytes, direct.DtoHBytes)
+	}
+	// The 10 GB/s peer link beats an 8 µs + 8 µs round trip through the
+	// host: the direct run must finish strictly earlier.
+	if direct.Makespan >= staged.Makespan {
+		t.Fatalf("p2p did not help: %v >= %v", direct.Makespan, staged.Makespan)
+	}
+}

@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"testing"
+
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/strategy"
+)
+
+// topologyApps is the compute-mode subset exercised on the non-paper
+// topologies: one app per structural class, at the matrixSizes scales.
+var topologyApps = []string{"MatrixMul", "BlackScholes", "HotSpot", "STREAM-Loop", "Cholesky"}
+
+// TestComputeMatrixOnCatalogTopologies runs the applicable
+// (application x strategy) compute matrix on the catalog's non-paper
+// platforms — a dual-GPU pair contending on one shared bus, and an
+// asymmetric GPU+MIC triple with a peer link — and verifies every
+// result bit-for-bit against a sequential CPU execution. This is the
+// acceptance gate for N-device support: partitioning, transfers and
+// scheduling must stay correct, not merely run, on 3+-device link
+// graphs.
+func TestComputeMatrixOnCatalogTopologies(t *testing.T) {
+	for _, platName := range []string{"dual-gpu-bus", "tri-asym-p2p"} {
+		t.Run(platName, func(t *testing.T) {
+			plat, err := device.ByName(platName, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if platName == "tri-asym-p2p" && len(plat.Accels)+1 < 3 {
+				t.Fatalf("want a 3+-device platform, got %d accels", len(plat.Accels))
+			}
+
+			var specs []Spec
+			for _, appName := range topologyApps {
+				cfg := matrixSizes[appName]
+				app, err := apps.ByName(appName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, sync := range []apps.SyncMode{apps.SyncNone, apps.SyncForced} {
+					probe, err := app.Build(apps.Variant{N: cfg.n, Iters: cfg.iters, Sync: sync, Compute: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					cls, needsSync := probe.Class(), probe.NeedsSync()
+					for _, s := range strategy.All() {
+						if !s.Applicable(cls, needsSync) {
+							continue
+						}
+						if probe.AtomicPhases && s.Name() == "DP-Converted" {
+							continue
+						}
+						specs = append(specs, Spec{
+							App: appName, Strategy: s.Name(), Sync: sync,
+							N: cfg.n, Iters: cfg.iters, Compute: true, Plat: plat,
+						})
+					}
+				}
+			}
+			if len(specs) < 15 {
+				t.Fatalf("matrix too small: %d pairs", len(specs))
+			}
+
+			r := New(Config{Workers: 4})
+			results, err := r.RunAll(specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, spec := range specs {
+				got := results[i]
+				if got.Verify == nil {
+					t.Fatalf("%s: compute run without a verifier", spec)
+				}
+				if err := got.Verify(); err != nil {
+					t.Errorf("%s: result does not match the sequential reference: %v", spec, err)
+					continue
+				}
+				res := got.Outcome.Result
+				var total int64
+				for _, el := range res.ElemsByDevice {
+					total += el
+				}
+				if total <= 0 {
+					t.Errorf("%s: no elements attributed to any device", spec)
+				}
+				for dev := range res.ElemsByDevice {
+					if dev < 0 || dev > len(plat.Accels) {
+						t.Errorf("%s: work attributed to nonexistent device %d", spec, dev)
+					}
+				}
+			}
+		})
+	}
+}

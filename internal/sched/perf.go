@@ -160,6 +160,12 @@ func (p *Perf) OnReady(in *task.Instance, v View) (int, bool) {
 		p.spTr.Emit(p.spParent, telemetry.KindWarmup, "perf-warmup", p.warmStart, v.Now())
 	}
 
+	// Earliest finish wins; exact ties keep the earlier candidate.
+	// Candidates come from v.Devices() in ascending device-ID order,
+	// so equal-speed devices break ties deterministically toward the
+	// lowest ID — the placement cannot depend on map iteration or any
+	// other unstable order, which keeps N-accelerator runs
+	// reproducible (and cacheable) across processes.
 	best, bestFinish := -1, sim.Time(0)
 	for _, d := range devs {
 		est := p.estimate(in, d.ID) + p.writebackCost(in, d.ID, v)

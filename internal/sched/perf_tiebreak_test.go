@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"testing"
+
+	"heteropart/internal/device"
+	"heteropart/internal/sim"
+	"heteropart/internal/task"
+)
+
+// triEqualView builds a platform with three identical accelerators —
+// the adversarial case for earliest-finish tie-breaking.
+func triEqualView(t *testing.T) *fakeView {
+	t.Helper()
+	plat, err := device.NewPlatform(device.XeonE5_2620(), 12,
+		device.Attachment{Model: device.TeslaK20m(), Link: device.PCIeGen2x16()},
+		device.Attachment{Model: device.TeslaK20m(), Link: device.PCIeGen2x16()},
+		device.Attachment{Model: device.TeslaK20m(), Link: device.PCIeGen2x16()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeView{plat: plat, queued: map[int]int{}}
+}
+
+// trainEqual installs identical learned rates for the three
+// accelerators (and a much slower host) by simulating warm-up
+// placements and completions, so every accelerator predicts the same
+// finish time for the next instance.
+func trainEqual(p *Perf, k *task.Kernel, v *fakeView) {
+	id := 0
+	for dev := 0; dev <= 3; dev++ {
+		took := sim.Duration(1000)
+		if dev == 0 {
+			took = 100000 // host far slower: never a tie candidate
+		}
+		for i := 0; i < WarmupInstances; i++ {
+			in := inst(k, id, 0, 1000, -1)
+			id++
+			p.Placed(in, dev)
+			p.Completed(in, dev, took)
+		}
+	}
+}
+
+// TestPerfTieBreakDeterministic pins the earliest-finish tie-breaking
+// contract on a 3-accelerator platform of equal-speed devices: exact
+// ties resolve to the lowest device ID, and as busy horizons advance
+// the policy cycles the accelerators in stable ascending order. The
+// placement sequence must be identical across independently
+// constructed schedulers — no map-iteration or other unstable order
+// may leak into it.
+func TestPerfTieBreakDeterministic(t *testing.T) {
+	k := kernel("k")
+	run := func() []int {
+		v := triEqualView(t)
+		p := NewPerfBlind() // no writeback term: pure compute ties
+		trainEqual(p, k, v)
+		var seq []int
+		for i := 0; i < 9; i++ {
+			in := inst(k, 100+i, 0, 1000, -1)
+			dev, ok := p.OnReady(in, v)
+			if !ok {
+				t.Fatalf("instance %d deferred after warm-up", i)
+			}
+			seq = append(seq, dev)
+			p.Placed(in, dev) // advances the device's busy horizon
+		}
+		return seq
+	}
+
+	seq := run()
+	if seq[0] != 1 {
+		t.Fatalf("first tie resolved to device %d, want 1 (lowest ID)", seq[0])
+	}
+	want := []int{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("placement %d on device %d, want %d (stable ascending cycle): %v", i, seq[i], want[i], seq)
+		}
+	}
+	for trial := 0; trial < 3; trial++ {
+		again := run()
+		for i := range seq {
+			if again[i] != seq[i] {
+				t.Fatalf("trial %d diverged at placement %d: %v vs %v", trial, i, again, seq)
+			}
+		}
+	}
+}

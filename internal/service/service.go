@@ -125,7 +125,7 @@ type Service struct {
 	panics, canceled                       *metrics.Counter
 	inflight, queueDepth, flightCount      *metrics.Gauge
 
-	appsJSON, strategiesJSON []byte
+	appsJSON, strategiesJSON, platformsJSON []byte
 
 	// panicHook, when set (tests only), runs inside the flight worker
 	// to exercise panic isolation.
@@ -170,6 +170,7 @@ func New(cfg Config) *Service {
 	s.flightCount = m.Gauge("service_flights", "live + memoized flights")
 	s.appsJSON = appsListing()
 	s.strategiesJSON = strategiesListing()
+	s.platformsJSON = platformsListing()
 	return s
 }
 
@@ -199,6 +200,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/strategies", s.wrap("strategies", func(w http.ResponseWriter, r *http.Request) {
 		writeRaw(w, s.strategiesJSON)
 	}))
+	mux.HandleFunc("GET /v1/platforms", s.wrap("platforms", func(w http.ResponseWriter, r *http.Request) {
+		writeRaw(w, s.platformsJSON)
+	}))
 	return mux
 }
 
@@ -217,8 +221,13 @@ type Request struct {
 	Iters int   `json:"iters,omitempty"`
 	// Sync is "default", "forced" or "none".
 	Sync string `json:"sync,omitempty"`
-	// Threads is the CPU worker-thread count m of the paper platform
-	// (0 = all 12).
+	// Platform names a catalog platform to simulate (GET /v1/platforms
+	// lists them; empty = the paper's Xeon+K20m testbed). Unknown names
+	// are rejected with 400. Requests for different platforms coalesce
+	// separately: the platform fingerprint is part of the flight key.
+	Platform string `json:"platform,omitempty"`
+	// Threads is the CPU worker-thread count m of the simulated host
+	// (0 = the platform's default).
 	Threads int `json:"threads,omitempty"`
 	// Chunks is the dynamic task count (0 = platform thread count).
 	Chunks int `json:"chunks,omitempty"`
@@ -283,9 +292,9 @@ func badRequest(format string, args ...any) *httpErr {
 }
 
 // statusFor maps the facade's sentinel errors to HTTP statuses:
-// unknown app/strategy → 404, invalid plan or fault schedule → 400,
-// platform mismatch → 409, abandoned by context → 499, anything else
-// (including a run halted by an injected fault) → 500.
+// unknown app/strategy → 404, invalid plan, fault schedule or platform
+// → 400, platform mismatch → 409, abandoned by context → 499, anything
+// else (including a run halted by an injected fault) → 500.
 func statusFor(err error) int {
 	var he *httpErr
 	switch {
@@ -295,7 +304,8 @@ func statusFor(err error) int {
 		errors.Is(err, heteropart.ErrUnknownStrategy):
 		return http.StatusNotFound
 	case errors.Is(err, heteropart.ErrPlanInvalid),
-		errors.Is(err, heteropart.ErrFaultInvalid):
+		errors.Is(err, heteropart.ErrFaultInvalid),
+		errors.Is(err, heteropart.ErrPlatformInvalid):
 		return http.StatusBadRequest
 	case errors.Is(err, heteropart.ErrPlatformMismatch):
 		return http.StatusConflict
@@ -334,8 +344,8 @@ func parseSync(s string) (heteropart.SyncMode, error) {
 }
 
 // specOf validates a request and turns it into a RunSpec. The platform
-// is always the paper platform (parameterized by thread count): the
-// service models the testbed, not arbitrary hardware.
+// defaults to the paper testbed; a request may name any catalog
+// platform (platformOf), parameterized by thread count.
 func (s *Service) specOf(req *Request) (heteropart.RunSpec, error) {
 	if req.App == "" {
 		return heteropart.RunSpec{}, badRequest("service: missing app")
@@ -357,17 +367,31 @@ func (s *Service) specOf(req *Request) (heteropart.RunSpec, error) {
 	if err != nil {
 		return heteropart.RunSpec{}, err
 	}
+	plat, err := platformOf(req)
+	if err != nil {
+		return heteropart.RunSpec{}, err
+	}
 	return heteropart.RunSpec{
 		App:      req.App,
 		Strategy: req.Strategy,
 		Sync:     sync,
 		N:        req.N,
 		Iters:    req.Iters,
-		Plat:     heteropart.PaperPlatform(req.Threads),
+		Plat:     plat,
 		Chunks:   req.Chunks,
 		NoSeed:   req.NoSeed,
 		Fault:    sched,
 	}, nil
+}
+
+// platformOf resolves a request's platform: empty means the paper
+// testbed, anything else must be a catalog name. Unknown names wrap
+// heteropart.ErrPlatformInvalid (→ 400).
+func platformOf(req *Request) (*heteropart.Platform, error) {
+	if req.Platform == "" {
+		return heteropart.PaperPlatform(req.Threads), nil
+	}
+	return heteropart.PlatformByName(req.Platform, req.Threads)
 }
 
 // faultOf parses and validates a request's fault schedule. Fault
@@ -483,7 +507,11 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	plat := heteropart.PaperPlatform(req.Threads)
+	plat, err := platformOf(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	// The coalescing key hashes the plan's canonical encoding plus
 	// everything else that shapes the execution.
 	canonical, err := pl.JSON()
@@ -850,6 +878,41 @@ func appsListing() []byte {
 				v.NeedsSync = rep.NeedsSync
 				v.Best = rep.Best
 			}
+		}
+		views = append(views, v)
+	}
+	b, _ := json.Marshal(views)
+	return append(b, '\n')
+}
+
+// PlatformView is one entry of GET /v1/platforms: a bundled catalog
+// platform a request can name in its "platform" field.
+type PlatformView struct {
+	Name        string   `json:"name"`
+	Fingerprint string   `json:"fingerprint"`
+	Devices     []string `json:"devices"`
+	P2PLinks    int      `json:"p2p_links,omitempty"`
+}
+
+// platformsListing renders the platform catalog once at startup.
+func platformsListing() []byte {
+	var views []PlatformView
+	for _, name := range heteropart.PlatformNames() {
+		plat, err := heteropart.PlatformByName(name, 0)
+		if err != nil {
+			continue // a broken catalog entry is a bug caught by tests
+		}
+		v := PlatformView{
+			Name:        name,
+			Fingerprint: heteropart.PlatformFingerprint(plat),
+			Devices:     []string{plat.Host.String()},
+		}
+		for _, a := range plat.Accels {
+			v.Devices = append(v.Devices, a.String())
+		}
+		spec, err := heteropart.PlatformSpecByName(name)
+		if err == nil {
+			v.P2PLinks = len(spec.P2P)
 		}
 		views = append(views, v)
 	}

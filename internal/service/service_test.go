@@ -144,6 +144,8 @@ func TestErrorMapping(t *testing.T) {
 		{"unknown field", "/v1/matchmake", `{"app":"BlackScholes","bogus":1}`, http.StatusBadRequest},
 		{"missing plan", "/v1/execute", `{"app":"BlackScholes"}`, http.StatusBadRequest},
 		{"invalid plan", "/v1/execute", `{"plan":{"version":1}}`, http.StatusBadRequest},
+		{"unknown platform", "/v1/matchmake", `{"app":"BlackScholes","platform":"quantum-rig"}`, http.StatusBadRequest},
+		{"unknown platform on plan", "/v1/plan", `{"app":"BlackScholes","platform":"quantum-rig"}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -287,6 +289,45 @@ func TestListings(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/strategies", &strats)
 	if len(strats) != len(heteropart.Strategies()) {
 		t.Errorf("strategies listing has %d entries, want %d", len(strats), len(heteropart.Strategies()))
+	}
+	var plats []PlatformView
+	getJSON(t, ts.URL+"/v1/platforms", &plats)
+	if len(plats) != len(heteropart.PlatformNames()) {
+		t.Errorf("platforms listing has %d entries, want %d", len(plats), len(heteropart.PlatformNames()))
+	}
+	fps := map[string]bool{}
+	for _, p := range plats {
+		if p.Name == "" || p.Fingerprint == "" || len(p.Devices) < 2 {
+			t.Errorf("incomplete platform entry: %+v", p)
+		}
+		if fps[p.Fingerprint] {
+			t.Errorf("duplicate platform fingerprint %q", p.Fingerprint)
+		}
+		fps[p.Fingerprint] = true
+	}
+}
+
+// TestMatchmakeOnCatalogPlatform runs the same request on the paper
+// platform and on the dual-GPU catalog topology: both must succeed,
+// and the two flights must not coalesce into one response (the
+// platform fingerprint is part of the flight key).
+func TestMatchmakeOnCatalogPlatform(t *testing.T) {
+	reg := heteropart.NewMetrics()
+	_, ts := newTestService(t, Config{Workers: 2, Metrics: reg})
+
+	status, paper, eb := postJSON(t, ts.URL+"/v1/matchmake", `{"app":"BlackScholes","n":16384}`)
+	if status != http.StatusOK {
+		t.Fatalf("paper platform: status %d (%+v)", status, eb)
+	}
+	status, dual, eb := postJSON(t, ts.URL+"/v1/matchmake", `{"app":"BlackScholes","n":16384,"platform":"dual-gpu-bus"}`)
+	if status != http.StatusOK {
+		t.Fatalf("dual-gpu-bus: status %d (%+v)", status, eb)
+	}
+	if paper.Outcome == nil || dual.Outcome == nil {
+		t.Fatal("missing outcome")
+	}
+	if hits := counter(reg, "service_coalesce_hits_total"); hits != 0 {
+		t.Errorf("service_coalesce_hits_total = %v, want 0: different platforms must not coalesce", hits)
 	}
 }
 

@@ -106,45 +106,15 @@ func (s SPSingle) planImbalanced(p *apps.Problem, plat *device.Platform, opts Op
 // the host via the water-filling solver.
 func (s SPSingle) planMulti(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
 	k := p.Unique[0]
-	ests := make([]glinda.Estimate, len(plat.Accels))
-	var rc float64
-	for i := range plat.Accels {
-		est, err := glinda.Profile(plat, p.Dir, k, i+1, opts.glindaCfg())
-		if err != nil {
-			return nil, err
-		}
-		rc = est.Rc
-		ests[i] = est
-	}
-	shares, err := glinda.SolveMulti(rc, ests, k.Size)
+	ests, err := profileAccels(p, plat, k, opts)
 	if err != nil {
 		return nil, err
 	}
-	// Warp-round each accelerator share (the host absorbs slack).
-	var accelTotal int64
-	for i := range plat.Accels {
-		shares[i+1] = plat.Accels[i].RoundUpWarp(shares[i+1], k.Size-accelTotal)
-		accelTotal += shares[i+1]
+	shares, err := multiSplit(plat, ests, k.Size)
+	if err != nil {
+		return nil, err
 	}
-	shares[0] = k.Size - accelTotal
-
-	m := opts.chunks(plat)
-	phases := make([]plan.PhasePlan, 0, len(p.Phases))
-	for _, ph := range p.Phases {
-		var chs []plan.Chunk
-		at := int64(0)
-		for a := range plat.Accels {
-			hi := at + shares[a+1]
-			if hi > at {
-				chs = append(chs, plan.Chunk{Lo: at, Hi: hi, Pin: a + 1, Chain: -1})
-			}
-			at = hi
-		}
-		chs = hostChunks(chs, at, ph.Kernel.Size, m)
-		phases = append(phases, plan.PhasePlan{
-			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size, Sync: ph.SyncAfter, Chunks: chs,
-		})
-	}
+	phases := staticPhasesMulti(p, func(apps.Phase) []int64 { return shares }, opts.chunks(plat), nil)
 	return newPlan(s.Name(), p, plat, staticSpec, phases, nil), nil
 }
 
@@ -173,6 +143,9 @@ func (s SPUnified) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*
 	if len(plat.Accels) == 0 {
 		return nil, fmt.Errorf("strategy: SP-Unified needs an accelerator")
 	}
+	if len(plat.Accels) > 1 {
+		return s.planMulti(p, plat, opts)
+	}
 	est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, 1, opts.glindaCfg())
 	if err != nil {
 		return nil, err
@@ -189,6 +162,36 @@ func (s SPUnified) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*
 	dec := glinda.Decide(est, p.Unique[0].Size, plat.Device(1), opts.glindaCfg())
 	phases := staticPhases(p, func(apps.Phase) int64 { return dec.NG }, opts.chunks(plat), nil)
 	return newPlan(s.Name(), p, plat, staticSpec, phases, map[string]glinda.Decision{"": dec}), nil
+}
+
+// planMulti generalizes the fused partitioning to N accelerators: the
+// fused-kernel profile runs once per accelerator, the water-filling
+// solver splits the single shared partitioning point across all of
+// them, and every phase reuses the same split so data stays resident
+// per device across the sequence.
+func (s SPUnified) planMulti(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
+	cls := p.Class()
+	ests := make([]glinda.Estimate, len(plat.Accels))
+	for i := range plat.Accels {
+		est, err := glinda.ProfileFused(plat, p.Dir, p.Unique, i+1, opts.glindaCfg())
+		if err != nil {
+			return nil, err
+		}
+		if cls == classify.MKLoop {
+			// Steady-state iterations move no data (Section IV-B4).
+			est.InSlope, est.InConst = 0, 0
+			est.OutSlope, est.OutConst = 0, 0
+		}
+		ests[i] = est
+	}
+	size := p.Unique[0].Size
+	shares, err := multiSplit(plat, ests, size)
+	if err != nil {
+		return nil, err
+	}
+	phases := staticPhasesMulti(p, func(apps.Phase) []int64 { return shares }, opts.chunks(plat), nil)
+	decs := map[string]glinda.Decision{"": multiDecision(shares, size)}
+	return newPlan(s.Name(), p, plat, staticSpec, phases, decs), nil
 }
 
 // Run implements Strategy.
@@ -217,6 +220,9 @@ func (s SPVaried) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*p
 	if p.AtomicPhases {
 		return nil, fmt.Errorf("strategy: SP-Varied cannot partition atomic-phase %s", p.AppName)
 	}
+	if len(plat.Accels) > 1 {
+		return s.planMulti(p, plat, opts)
+	}
 	decs := make(map[string]glinda.Decision, len(p.Unique))
 	for _, k := range p.Unique {
 		dec, err := glinda.Analyze(plat, p.Dir, k, 1, opts.glindaCfg())
@@ -228,6 +234,32 @@ func (s SPVaried) Plan(p *apps.Problem, plat *device.Platform, opts Options) (*p
 	force := true
 	phases := staticPhases(p, func(ph apps.Phase) int64 {
 		return decs[ph.Kernel.Name].NG
+	}, opts.chunks(plat), &force)
+	return newPlan(s.Name(), p, plat, staticSpec, phases, decs), nil
+}
+
+// planMulti gives every kernel its own per-device ratios on N
+// accelerators: each kernel is profiled on each accelerator and split
+// by the water-filling solver independently, with the mandatory
+// global synchronization point after every kernel preserved.
+func (s SPVaried) planMulti(p *apps.Problem, plat *device.Platform, opts Options) (*plan.ExecutionPlan, error) {
+	decs := make(map[string]glinda.Decision, len(p.Unique))
+	splits := make(map[string][]int64, len(p.Unique))
+	for _, k := range p.Unique {
+		ests, err := profileAccels(p, plat, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		shares, err := multiSplit(plat, ests, k.Size)
+		if err != nil {
+			return nil, err
+		}
+		splits[k.Name] = shares
+		decs[k.Name] = multiDecision(shares, k.Size)
+	}
+	force := true
+	phases := staticPhasesMulti(p, func(ph apps.Phase) []int64 {
+		return splits[ph.Kernel.Name]
 	}, opts.chunks(plat), &force)
 	return newPlan(s.Name(), p, plat, staticSpec, phases, decs), nil
 }

@@ -440,6 +440,92 @@ func staticPhases(p *apps.Problem, ngFor func(ph apps.Phase) int64, m int,
 	return phases
 }
 
+// multiSplit warp-rounds the water-filling split of one kernel across
+// every accelerator: shares[i] is the element count of accel i
+// (1-based), shares[0] the host's, which absorbs the rounding slack.
+// ests[i] must be the profile of accel i+1; every profile carries the
+// same CPU rate Rc.
+func multiSplit(plat *device.Platform, ests []glinda.Estimate, size int64) ([]int64, error) {
+	shares, err := glinda.SolveMulti(ests[0].Rc, ests, size)
+	if err != nil {
+		return nil, err
+	}
+	var accelTotal int64
+	for i := range plat.Accels {
+		shares[i+1] = plat.Accels[i].RoundUpWarp(shares[i+1], size-accelTotal)
+		accelTotal += shares[i+1]
+	}
+	shares[0] = size - accelTotal
+	return shares, nil
+}
+
+// profileAccels runs the Glinda profile of one kernel on every
+// accelerator of the platform, in device order.
+func profileAccels(p *apps.Problem, plat *device.Platform, k *task.Kernel, opts Options) ([]glinda.Estimate, error) {
+	ests := make([]glinda.Estimate, len(plat.Accels))
+	for i := range plat.Accels {
+		est, err := glinda.Profile(plat, p.Dir, k, i+1, opts.glindaCfg())
+		if err != nil {
+			return nil, err
+		}
+		ests[i] = est
+	}
+	return ests, nil
+}
+
+// multiDecision summarizes an N-way static split as a Glinda decision
+// (total accelerator share vs host share), so multi-accelerator plans
+// report through the same telemetry as paper-platform ones.
+func multiDecision(shares []int64, size int64) glinda.Decision {
+	var accel int64
+	for _, s := range shares[1:] {
+		accel += s
+	}
+	d := glinda.Decision{Config: glinda.Hybrid, NG: accel, NC: size - accel}
+	switch {
+	case accel == 0:
+		d.Config = glinda.OnlyCPU
+	case accel == size:
+		d.Config = glinda.OnlyGPU
+	}
+	if size > 0 {
+		d.Beta = float64(accel) / float64(size)
+	}
+	return d
+}
+
+// staticPhasesMulti decides a fully pinned plan over N accelerators:
+// for every phase, accel i takes its share as one instance (in device
+// order from element 0) and the host takes the remainder in m chunks.
+// sharesFor returns the per-device element counts (index = device ID)
+// for a phase; forceBarrier overrides the phase's own sync flag when
+// non-nil.
+func staticPhasesMulti(p *apps.Problem, sharesFor func(ph apps.Phase) []int64, m int,
+	forceBarrier *bool) []plan.PhasePlan {
+	phases := make([]plan.PhasePlan, 0, len(p.Phases))
+	for _, ph := range p.Phases {
+		shares := sharesFor(ph)
+		var chs []plan.Chunk
+		at := int64(0)
+		for i := 1; i < len(shares); i++ {
+			hi := at + shares[i]
+			if hi > at {
+				chs = append(chs, plan.Chunk{Lo: at, Hi: hi, Pin: i, Chain: -1})
+			}
+			at = hi
+		}
+		chs = hostChunks(chs, at, ph.Kernel.Size, m)
+		sync := ph.SyncAfter
+		if forceBarrier != nil {
+			sync = *forceBarrier
+		}
+		phases = append(phases, plan.PhasePlan{
+			Kernel: ph.Kernel.Name, Size: ph.Kernel.Size, Sync: sync, Chunks: chs,
+		})
+	}
+	return phases
+}
+
 // dynamicPhases decides an unpinned plan: every phase split into m
 // chunks (or one atomic instance for DAG problems), chunk index as the
 // chain key, sync flags per the problem's taskwaits.
