@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean api service-load fuzz chaos platforms
+.PHONY: all build test bench bench-report vet lint race race-observe check experiments report examples clean api service-load fuzz chaos platforms calibrate
 
 # Pinned staticcheck version; CI installs exactly this.
 STATICCHECK_VERSION = 2024.1.1
@@ -77,8 +77,19 @@ platforms:
 	@$(GO) run ./cmd/hetsim -app STREAM-Loop -strategy SP-Varied -n 4096 -platform dual-gpu-bus >/dev/null
 	@echo "platforms: catalog smoke ok"
 
+# Smoke the calibration loop end to end on the asymmetric tri-device
+# platform: record a run and fit a report from its chunk spans, replay
+# the run under the fitted report, then drive the full
+# iterate-replan-measure loop to convergence (DESIGN.md §14).
+calibrate:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/hetsim -app BlackScholes -strategy SP-Single -platform tri-asym-p2p -calibrate-out $$tmp/cal.json >/dev/null && \
+	$(GO) run ./cmd/hetsim -app BlackScholes -strategy SP-Single -platform tri-asym-p2p -calibrate-in $$tmp/cal.json >/dev/null && \
+	$(GO) run ./cmd/hetsim -app BlackScholes -platform tri-asym-p2p -calibrate-in $$tmp/cal.json -calibrate-rounds 3 -calibrate-out $$tmp/converged.json && \
+	rm -rf $$tmp && echo "calibrate: record -> fit -> converge ok"
+
 # Everything a change must pass before merging.
-check: build vet lint test race service-load chaos fuzz platforms bench-report
+check: build vet lint test race service-load chaos fuzz platforms calibrate bench-report
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,6 +1,7 @@
 // Command hetserved is the matchmaking daemon: it serves the
 // internal/service HTTP API (/v1/matchmake, /v1/plan, /v1/execute,
-// /v1/apps, /v1/strategies) alongside the live telemetry surface
+// /v1/calibrate, /v1/apps, /v1/strategies, /v1/platforms) alongside
+// the live telemetry surface
 // (/metrics, /healthz, /spans, /runs, /debug/pprof) on one address.
 //
 //	hetserved -addr :8080 -workers 8

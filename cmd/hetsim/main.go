@@ -44,6 +44,18 @@
 //	hetsim -app HotSpot -strategy DP-Perf -record-out runs/
 //	hetsim -record-diff runs/a.json runs/b.json
 //	hetsim -app HotSpot -strategy DP-Perf -serve :8080
+//
+// Calibration closes the profile-guided loop (DESIGN.md §14):
+// -calibrate-out fits a CalibrationReport from the run's recorded
+// chunk spans (predicted vs simulated chunk times, median-of-ratios
+// per kernel and device), -calibrate-in applies a saved report to the
+// platform before running, and -calibrate-rounds k runs the full
+// iterate-replan-measure loop against the resolved platform as ground
+// truth, printing one row per round until the makespan converges:
+//
+//	hetsim -app BlackScholes -strategy SP-Single -calibrate-out cal.json
+//	hetsim -app BlackScholes -strategy SP-Single -calibrate-in cal.json
+//	hetsim -app BlackScholes -calibrate-rounds 3 -calibrate-out cal.json
 package main
 
 import (
@@ -84,6 +96,9 @@ func main() {
 		faultOut  = flag.String("fault-out", "", "write the run's validated fault schedule (stable JSON) to this file — the exact artifact -fault-in replays")
 		platName  = flag.String("platform", "", "simulate a named catalog platform instead of the paper's (see heteropart.PlatformNames; empty = paper)")
 		platIn    = flag.String("platform-in", "", "simulate the platform described by this PlatformSpec JSON file (overrides -platform)")
+		calibIn   = flag.String("calibrate-in", "", "apply the CalibrationReport (JSON) from this file to the platform before running (refused if it was fitted for a different platform)")
+		calibOut  = flag.String("calibrate-out", "", "fit a CalibrationReport from the run's recorded chunk spans and write it (stable JSON) to this file")
+		calibR    = flag.Int("calibrate-rounds", 0, "run the calibration loop for up to this many rounds against the resolved platform as ground truth, then exit (DESIGN.md §14)")
 	)
 	flag.Parse()
 	if *recordIn != "" {
@@ -117,7 +132,10 @@ func main() {
 			*iters = loaded.Iters
 		}
 	}
-	if *appName == "" || (*stratName == "" && !*sweep && loaded == nil) {
+	// -sweep, -plan-in and -calibrate-rounds pick strategies themselves
+	// (all of them, the plan's, the analyzer's); everything else needs
+	// an explicit -strategy.
+	if *appName == "" || (*stratName == "" && !*sweep && loaded == nil && *calibR == 0) {
 		fmt.Fprintln(os.Stderr, "hetsim: -app and -strategy are required")
 		os.Exit(2)
 	}
@@ -158,9 +176,28 @@ func main() {
 
 	plat, err := resolvePlatform(*platIn, *platName, *m)
 	fatal(err)
+	if *calibIn != "" {
+		data, err := os.ReadFile(*calibIn)
+		fatal(err)
+		report, err := heteropart.CalibrationFromJSON(data)
+		fatal(err)
+		plat, err = report.Apply(plat)
+		fatal(err)
+		fmt.Printf("calibration applied from %s (%d scales)\n", *calibIn, len(report.Scales))
+	}
+	if *calibR > 0 {
+		if *sweep || loaded != nil || sched != nil {
+			fatal(fmt.Errorf("-calibrate-rounds runs its own decide/execute loop and cannot combine with -sweep, -plan-in or -fault-in"))
+		}
+		runCalibrationLoop(plat, sync, *appName, *stratName, *n, *iters, *chunks, *calibR, *planOut, *calibOut)
+		return
+	}
 	if *sweep {
 		if *recordOut != "" {
 			fatal(fmt.Errorf("-record-out records a single run and cannot combine with -sweep"))
+		}
+		if *calibOut != "" {
+			fatal(fmt.Errorf("-calibrate-out fits from a single recorded run and cannot combine with -sweep"))
 		}
 		runSweep(plat, sync, *appName, *stratName, *sizes, *n, *iters, *chunks, *compute, *parallel, *showMx, *serveAddr, sched)
 		writeFaultOut()
@@ -174,9 +211,10 @@ func main() {
 	})
 	fatal(err)
 
-	// -record-out and -serve imply full observability: trace, metrics
-	// and span collection.
-	observe := *recordOut != "" || *serveAddr != ""
+	// -record-out, -serve and -calibrate-out imply full observability:
+	// trace, metrics and span collection (the calibration fit ingests
+	// the recorded chunk spans).
+	observe := *recordOut != "" || *serveAddr != "" || *calibOut != ""
 	var reg *heteropart.Metrics
 	if *showMx || observe {
 		reg = heteropart.NewMetrics()
@@ -326,6 +364,15 @@ func main() {
 		fatal(bundle.WriteFile(path))
 		fmt.Printf("flight bundle written to %s\n", path)
 	}
+	if *calibOut != "" {
+		report, err := heteropart.Calibrate([]*heteropart.FlightBundle{bundle}, plat, heteropart.CalibrationFitConfig{})
+		fatal(err)
+		data, err := report.JSON()
+		fatal(err)
+		fatal(os.WriteFile(*calibOut, data, 0o644))
+		fmt.Printf("calibration report written to %s (%d scales from %d samples)\n",
+			*calibOut, len(report.Scales), report.Rounds[0].Samples)
+	}
 	if *serveAddr != "" {
 		srv := heteropart.NewTelemetryServer(heteropart.TelemetryConfig{
 			Metrics: reg, Spans: tracer,
@@ -334,6 +381,44 @@ func main() {
 		srv.AddRun(bundle)
 		fmt.Printf("serving telemetry on %s (ctrl-c to stop)\n", *serveAddr)
 		fatal(srv.ListenAndServe(*serveAddr))
+	}
+}
+
+// runCalibrationLoop implements -calibrate-rounds: the resolved
+// platform (including any -calibrate-in scales) is the ground truth,
+// the loop starts believing the calibration-free base model, and each
+// round decides a plan on the believed model, measures it on the
+// truth, refits, and replans — until the measured makespan moves by
+// less than the convergence threshold or the round budget runs out.
+func runCalibrationLoop(plat *heteropart.Platform, sync heteropart.SyncMode,
+	appName, stratName string, n int64, iters, chunks, rounds int,
+	planOut, calibOut string) {
+	report, pl, _, err := heteropart.Converge(heteropart.ConvergeConfig{
+		App: appName, Strategy: stratName, Sync: sync,
+		N: n, Iters: iters, Chunks: chunks, MaxRounds: rounds,
+	}, plat, plat.Uncalibrated())
+	fatal(err)
+	fmt.Printf("calibration of %s on %s (%d of %d rounds)\n",
+		appName, plat, len(report.Rounds), rounds)
+	fmt.Printf("%-6s  %8s  %8s  %13s  %s\n",
+		"round", "samples", "err(%)", "makespan(ms)", "plan changes")
+	for _, r := range report.Rounds {
+		fmt.Printf("%-6d  %8d  %8.2f  %13.3f  %d\n",
+			r.Round, r.Samples, 100*r.MeanAbsRelErr, float64(r.MakespanNs)/1e6, len(r.PlanDiff))
+	}
+	fmt.Printf("fitted %d scale(s); converged plan: %s via %s\n",
+		len(report.Scales), pl.App, pl.Strategy)
+	if planOut != "" {
+		data, err := pl.JSON()
+		fatal(err)
+		fatal(os.WriteFile(planOut, data, 0o644))
+		fmt.Printf("plan written to %s\n", planOut)
+	}
+	if calibOut != "" {
+		data, err := report.JSON()
+		fatal(err)
+		fatal(os.WriteFile(calibOut, data, 0o644))
+		fmt.Printf("calibration report written to %s\n", calibOut)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"heteropart/internal/analyzer"
 	"heteropart/internal/apierr"
 	"heteropart/internal/apps"
+	"heteropart/internal/calib"
 	"heteropart/internal/classify"
 	"heteropart/internal/device"
 	"heteropart/internal/exp"
@@ -298,9 +299,31 @@ func Apps() []App { return apps.Registry() }
 // AppByName finds a bundled application.
 func AppByName(name string) (App, error) { return apps.ByName(name) }
 
+// AppNames lists the bundled application names, in registry order —
+// the values AppByName accepts.
+func AppNames() []string {
+	all := apps.Registry()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name()
+	}
+	return names
+}
+
 // Strategies returns every partitioning strategy plus the Only-CPU /
 // Only-GPU references.
 func Strategies() []Strategy { return strategy.All() }
+
+// StrategyNames lists the registered strategy names, in registry
+// order — the values StrategyByName accepts.
+func StrategyNames() []string {
+	all := strategy.All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name()
+	}
+	return names
+}
 
 // StrategyByName finds a strategy ("SP-Single", "DP-Perf", ...).
 func StrategyByName(name string) (Strategy, error) { return strategy.ByName(name) }
@@ -358,6 +381,13 @@ var (
 	// ErrDeviceLost: an injected device-loss fault removed a device
 	// mid-run. Errors matching it also match ErrFaultInjected.
 	ErrDeviceLost = apierr.ErrDeviceLost
+	// ErrCalibrationStale: a CalibrationReport was applied to (or
+	// fitted against) a platform other than the one it was recorded
+	// on. Correction factors do not transfer across machines.
+	ErrCalibrationStale = apierr.ErrCalibrationStale
+	// ErrOptionsInvalid: an Options combination was rejected by
+	// Options.Validate before any work ran.
+	ErrOptionsInvalid = apierr.ErrOptionsInvalid
 )
 
 // Matchmake analyzes a problem, then runs the selected strategy on the
@@ -416,6 +446,17 @@ func Experiments() []Experiment { return exp.All() }
 
 // ExperimentByID finds one experiment ("fig5a", "table1", ...).
 func ExperimentByID(id string) (Experiment, error) { return exp.ByID(id) }
+
+// ExperimentNames lists the experiment IDs, in registry order — the
+// values ExperimentByID accepts.
+func ExperimentNames() []string {
+	all := exp.All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.ID
+	}
+	return names
+}
 
 // MarkdownReport runs every experiment and renders the complete
 // EXPERIMENTS.md document (paper-vs-measured, with shape checks).
@@ -513,6 +554,52 @@ type (
 // FaultScheduleFromJSON decodes and validates a serialized
 // FaultSchedule; failures wrap ErrFaultInvalid.
 func FaultScheduleFromJSON(data []byte) (*FaultSchedule, error) { return fault.FromJSON(data) }
+
+// Profile-guided calibration: fit cost-model corrections from recorded
+// executions and replan until converged (DESIGN.md §14).
+type (
+	// CalibrationReport is the versioned, byte-stable calibration
+	// artifact: fitted CostScale factors plus per-round evidence. Apply
+	// it to a platform with its Apply method; a platform whose base
+	// fingerprint differs is refused with ErrCalibrationStale.
+	CalibrationReport = calib.Report
+	// CalibrationRound is one round's evidence inside a report.
+	CalibrationRound = calib.Round
+	// CalibrationEntry is one fitted (kernel, device) group.
+	CalibrationEntry = calib.Entry
+	// CalibrationFitConfig tunes the robust fit (min samples per group,
+	// outlier ratio guard).
+	CalibrationFitConfig = calib.FitConfig
+	// CalibrationObservation is one measured chunk execution extracted
+	// from a span tree.
+	CalibrationObservation = calib.Observation
+	// ConvergeConfig drives the iterate-replan-measure loop.
+	ConvergeConfig = calib.Config
+)
+
+// Calibrate fits a CalibrationReport from recorded flight bundles:
+// plan-predicted chunk times are compared against the recorded span
+// tree and per-(kernel, device) correction factors are fitted (median
+// of ratios). Bundles recorded on a different platform are refused
+// with an error wrapping ErrCalibrationStale.
+func Calibrate(bundles []*FlightBundle, plat *Platform, cfg CalibrationFitConfig) (*CalibrationReport, error) {
+	return calib.Calibrate(bundles, plat, cfg)
+}
+
+// Converge runs the profile-guided calibration loop: decide a plan on
+// the believed cost model, execute it on the truth platform, fit
+// corrections from the observed chunk times, fold them in, and repeat
+// until the measured makespan settles (or cfg.MaxRounds). It returns
+// the report, the plan decided on the converged model, and the
+// calibrated platform. Deterministic: equal inputs produce
+// byte-identical reports and plans.
+func Converge(cfg ConvergeConfig, truth, believed *Platform) (*CalibrationReport, *ExecutionPlan, *Platform, error) {
+	return calib.Converge(cfg, truth, believed)
+}
+
+// CalibrationFromJSON decodes and validates a serialized
+// CalibrationReport.
+func CalibrationFromJSON(data []byte) (*CalibrationReport, error) { return calib.FromJSON(data) }
 
 // NewExpEnv builds an experiment environment whose internal sweeps
 // shard over a pool of the given width (workers <= 1 is sequential).

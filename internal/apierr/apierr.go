@@ -56,6 +56,17 @@ var (
 	// ErrFaultInjected; the strategy layer answers it with a bounded
 	// replan on the surviving devices.
 	ErrDeviceLost = errors.New("device lost")
+	// ErrCalibrationStale reports a CalibrationReport applied to a
+	// platform other than the one it was fitted for: the report's
+	// recorded base fingerprint does not match the target platform's
+	// (calib.Report.Apply, the service's /v1/calibrate state).
+	ErrCalibrationStale = errors.New("stale calibration")
+	// ErrOptionsInvalid reports an incoherent Options combination
+	// rejected before any work runs (strategy.Options.Validate): a
+	// negative chunk count, a Glinda configuration with inverted
+	// cutoffs, a span parent without a tracer, an invalid fault
+	// schedule.
+	ErrOptionsInvalid = errors.New("invalid options")
 )
 
 // canceledError couples ErrCanceled with the context's own error, so

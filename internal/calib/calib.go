@@ -1,0 +1,201 @@
+// Package calib closes the loop from observed execution back into the
+// decision stack (DESIGN.md §14): it ingests flight-recorder bundles
+// (or a live run's span tree), compares the plan-predicted
+// per-(kernel, device) chunk times against the simulated actuals, fits
+// device.Scale correction factors, and drives the iterate-replan-
+// measure loop (Converge) until the replanned makespan settles.
+//
+// The subsystem is deterministic end to end: observations come from
+// the simulator's virtual clock, the fit is a median of ratios over
+// sorted groups, and every encoding sorts — the same inputs always
+// produce a byte-identical CalibrationReport and final plan.
+//
+// Factors are fitted against the platform's *base* (calibration-free)
+// cost model, so a report is self-contained: applying it replaces any
+// previous calibration instead of compounding with it, and two
+// calibrations of the same machine are interchangeable artifacts.
+package calib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"heteropart/internal/apierr"
+	"heteropart/internal/apps"
+	"heteropart/internal/device"
+	"heteropart/internal/task"
+	"heteropart/internal/telemetry"
+	"heteropart/internal/telemetry/flight"
+)
+
+// Observation is one measured chunk execution: which kernel range ran
+// on which device, and how long the simulator's virtual clock says it
+// took. Observations come from KindChunk spans — the runtime emits one
+// per task instance with the virtual interval and the (dev, kernel)
+// attributes this extraction reads back.
+type Observation struct {
+	// Kernel is the kernel name (the chunk span's "kernel" attribute).
+	Kernel string
+	// Device is the platform device ID the chunk ran on.
+	Device int
+	// Lo and Hi are the chunk's half-open element range, recovered
+	// from the span name ("kernel#id[lo,hi)").
+	Lo, Hi int64
+	// ActualNs is the chunk's simulated duration (virtual interval).
+	ActualNs int64
+}
+
+// ObservationsFromSpans extracts the chunk observations of one run
+// from its span tree. Spans other than completed chunk spans are
+// ignored; a chunk span that cannot be parsed is an error — it means
+// the recording and this reader disagree about the span schema.
+func ObservationsFromSpans(spans []telemetry.Span) ([]Observation, error) {
+	var out []Observation
+	for _, sp := range spans {
+		if sp.Kind != telemetry.KindChunk || !sp.HasVirtual {
+			continue
+		}
+		o := Observation{Device: -1, ActualNs: sp.VEnd - sp.VStart}
+		for _, a := range sp.Attrs {
+			switch a.K {
+			case "kernel":
+				o.Kernel = a.V
+			case "dev":
+				d, err := strconv.Atoi(a.V)
+				if err != nil {
+					return nil, fmt.Errorf("calib: chunk span %q: bad dev attribute %q", sp.Name, a.V)
+				}
+				o.Device = d
+			}
+		}
+		if o.Kernel == "" || o.Device < 0 {
+			return nil, fmt.Errorf("calib: chunk span %q lacks kernel/dev attributes", sp.Name)
+		}
+		lo, hi, err := parseRange(sp.Name)
+		if err != nil {
+			return nil, err
+		}
+		o.Lo, o.Hi = lo, hi
+		if o.Hi <= o.Lo || o.ActualNs <= 0 {
+			continue // degenerate chunk: nothing to learn from
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// ObservationsFromBundle extracts the chunk observations recorded in a
+// flight bundle. Bundles recorded without span collection carry no
+// chunk evidence and are rejected.
+func ObservationsFromBundle(b *flight.Bundle) ([]Observation, error) {
+	if b == nil || b.Spans == nil || len(b.Spans.Spans) == 0 {
+		return nil, fmt.Errorf("calib: bundle has no spans (record with span collection enabled)")
+	}
+	obs, err := ObservationsFromSpans(b.Spans.Spans)
+	if err != nil {
+		return nil, err
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("calib: bundle spans contain no chunk observations")
+	}
+	return obs, nil
+}
+
+// parseRange recovers [lo,hi) from a chunk span name of the form
+// "kernel#id[lo,hi)".
+func parseRange(name string) (lo, hi int64, err error) {
+	open := strings.LastIndexByte(name, '[')
+	if open < 0 || !strings.HasSuffix(name, ")") {
+		return 0, 0, fmt.Errorf("calib: chunk span name %q has no [lo,hi) range", name)
+	}
+	inner := name[open+1 : len(name)-1]
+	comma := strings.IndexByte(inner, ',')
+	if comma < 0 {
+		return 0, 0, fmt.Errorf("calib: chunk span name %q has no [lo,hi) range", name)
+	}
+	lo, err = strconv.ParseInt(inner[:comma], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("calib: chunk span name %q: %v", name, err)
+	}
+	hi, err = strconv.ParseInt(inner[comma+1:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("calib: chunk span name %q: %v", name, err)
+	}
+	return lo, hi, nil
+}
+
+// kernelsOf builds the kernel lookup table the predictor prices
+// against: one problem build, phases collapsed by kernel name.
+func kernelsOf(appName string, n int64, iters int, sync apps.SyncMode, plat *device.Platform) (map[string]*task.Kernel, error) {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := app.Build(apps.Variant{N: n, Iters: iters, Sync: sync, Spaces: 1 + len(plat.Accels)})
+	if err != nil {
+		return nil, err
+	}
+	kernels := make(map[string]*task.Kernel)
+	for _, ph := range p.Phases {
+		kernels[ph.Kernel.Name] = ph.Kernel
+	}
+	return kernels, nil
+}
+
+// predict prices one observation's chunk through a platform's cost
+// model, exactly as the plan predicted it: ExecCost with the device's
+// share divisor (a CPU running m worker threads gives each executor
+// peak/m, which is also each chunk's processor-sharing steady state).
+func predict(plat *device.Platform, kernels map[string]*task.Kernel, o Observation) (int64, error) {
+	k, ok := kernels[o.Kernel]
+	if !ok {
+		return 0, fmt.Errorf("calib: observation names unknown kernel %q", o.Kernel)
+	}
+	d := plat.Device(o.Device)
+	if d == nil {
+		return 0, fmt.Errorf("calib: observation names unknown device %d", o.Device)
+	}
+	return int64(plat.ExecCost(d, o.Kernel, k.Work(o.Lo, o.Hi), k.EffOn(d.Kind))), nil
+}
+
+// MeanAbsRelErr is the calibration error metric: the mean over
+// observations of |actual - predicted| / predicted, with predictions
+// priced through plat's (possibly calibrated) cost model. It returns
+// the mean and the number of observations it covers; observations the
+// model prices at zero are skipped.
+func MeanAbsRelErr(obs []Observation, kernels map[string]*task.Kernel, plat *device.Platform) (float64, int, error) {
+	var sum float64
+	var n int
+	for _, o := range obs {
+		pred, err := predict(plat, kernels, o)
+		if err != nil {
+			return 0, 0, err
+		}
+		if pred <= 0 {
+			continue
+		}
+		rel := float64(o.ActualNs-pred) / float64(pred)
+		if rel < 0 {
+			rel = -rel
+		}
+		sum += rel
+		n++
+	}
+	if n == 0 {
+		return 0, 0, nil
+	}
+	return sum / float64(n), n, nil
+}
+
+// checkSameBase verifies two platforms describe the same machine once
+// calibration is stripped; a mismatch wraps apierr.ErrCalibrationStale
+// — correction factors fitted for one topology are meaningless on
+// another.
+func checkSameBase(want string, p *device.Platform) error {
+	if got := p.Uncalibrated().Fingerprint(); got != want {
+		return fmt.Errorf("calib: %w: fitted for platform %q, applied to %q",
+			apierr.ErrCalibrationStale, want, got)
+	}
+	return nil
+}

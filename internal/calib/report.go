@@ -1,0 +1,137 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"heteropart/internal/device"
+)
+
+// ReportVersion is the CalibrationReport format version.
+const ReportVersion = 1
+
+// Report is the versioned, byte-stable calibration artifact: the
+// fitted correction factors plus the per-round evidence that produced
+// them. It is what hetsim -calibrate-out writes, -calibrate-in reads,
+// and POST /v1/calibrate installs.
+type Report struct {
+	Version int `json:"version"`
+	// App is the application the factors were fitted from.
+	App string `json:"app"`
+	// Platform is the *base* (calibration-free) fingerprint of the
+	// platform the report was fitted for. Apply refuses any platform
+	// whose base fingerprint differs — correction factors do not
+	// transfer across machines (apierr.ErrCalibrationStale).
+	Platform string `json:"platform"`
+	// Scales are the fitted factors, absolute against the base cost
+	// model, sorted by (kernel, device).
+	Scales []device.Scale `json:"scales"`
+	// Rounds is the fit evidence, one entry per calibration round (or
+	// per ingested bundle for a single-shot fit).
+	Rounds []Round `json:"rounds,omitempty"`
+}
+
+// Round records one calibration round's evidence.
+type Round struct {
+	// Round numbers the rounds from 1.
+	Round int `json:"round"`
+	// Samples is the number of chunk observations the round measured.
+	Samples int `json:"samples"`
+	// MeanAbsRelErr is the mean |actual - predicted| / predicted over
+	// the round's observations, priced with the model the round's plan
+	// was decided on — the error the fit then corrects.
+	MeanAbsRelErr float64 `json:"mean_abs_rel_err"`
+	// MakespanNs is the round's measured makespan.
+	MakespanNs int64 `json:"makespan_ns"`
+	// Fitted is the round's fitted group evidence.
+	Fitted []Entry `json:"fitted,omitempty"`
+	// PlanDiff is the plan.Diff against the previous round's plan —
+	// what the recalibrated model decided differently. Empty for the
+	// first round and for rounds that reproduce the previous plan.
+	PlanDiff []string `json:"plan_diff,omitempty"`
+}
+
+// Validate checks the report's internal coherence.
+func (r *Report) Validate() error {
+	if r == nil {
+		return fmt.Errorf("calib: nil report")
+	}
+	if r.Version != ReportVersion {
+		return fmt.Errorf("calib: report version %d, this build reads %d", r.Version, ReportVersion)
+	}
+	if r.Platform == "" {
+		return fmt.Errorf("calib: report has no platform fingerprint")
+	}
+	if len(r.Scales) == 0 {
+		return fmt.Errorf("calib: report has no fitted scales")
+	}
+	for i, s := range r.Scales {
+		if s.Factor <= 0 {
+			return fmt.Errorf("calib: scale %d (%q, device %d) has non-positive factor %g",
+				i, s.Kernel, s.Device, s.Factor)
+		}
+		if s.Device < -1 {
+			return fmt.Errorf("calib: scale %d (%q) has invalid device %d", i, s.Kernel, s.Device)
+		}
+	}
+	return nil
+}
+
+// JSON renders the report as stable, human-readable JSON: fixed field
+// order, sorted scales, trailing newline. FromJSON ∘ JSON is the
+// identity on bytes.
+func (r *Report) JSON() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("calib: encode report: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// FromJSON decodes and validates a serialized CalibrationReport.
+func FromJSON(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("calib: decode report: %v", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Apply rebinds a platform's cost model to the report's fitted
+// factors: the platform is stripped to its base model and re-wrapped
+// with the report's scales, so applying a report *replaces* any
+// previous calibration instead of compounding with it. A platform
+// whose base fingerprint differs from the one the report was fitted
+// for is refused with an error wrapping apierr.ErrCalibrationStale —
+// the drift-detection contract the service's per-platform calibration
+// state relies on.
+func (r *Report) Apply(p *device.Platform) (*device.Platform, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	base := p.Uncalibrated()
+	if err := checkSameBase(r.Platform, base); err != nil {
+		return nil, err
+	}
+	scales := append([]device.Scale(nil), r.Scales...)
+	return base.WithCost(&device.Calibrated{Base: base.Cost, Scales: scales}), nil
+}
+
+// BaseFingerprint strips the cost-model segment from a full platform
+// fingerprint, leaving the calibration-free identity a report binds
+// to. Fingerprints append the cost segment last and only when a
+// non-default model is present, so the prefix before "+cost=" is
+// exactly the base fingerprint.
+func BaseFingerprint(fp string) string {
+	if i := strings.Index(fp, "+cost="); i >= 0 {
+		return fp[:i]
+	}
+	return fp
+}

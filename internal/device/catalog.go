@@ -379,6 +379,36 @@ func (p *Platform) Without(id int) (*Platform, error) {
 	return out, nil
 }
 
+// WithCost returns a shallow copy of the platform pricing through c
+// (nil = Roofline). Devices, links and topology are shared — they are
+// immutable after construction — so the copy is cheap and the original
+// platform (and every plan bound to its fingerprint) is untouched.
+func (p *Platform) WithCost(c CostModel) *Platform {
+	q := *p
+	q.Cost = c
+	return &q
+}
+
+// Uncalibrated returns the platform pricing through its base cost
+// model, stripping any Calibrated wrapper(s). Its fingerprint is the
+// calibration-free identity a CalibrationReport binds to: two
+// calibrations of the same machine share it, so superseding one
+// calibration with another is never a staleness violation.
+func (p *Platform) Uncalibrated() *Platform {
+	c := p.Cost
+	for {
+		cal, ok := c.(*Calibrated)
+		if !ok {
+			break
+		}
+		c = cal.Base
+	}
+	if c == p.Cost {
+		return p
+	}
+	return p.WithCost(c)
+}
+
 // String summarizes the platform for reports.
 func (p *Platform) String() string {
 	s := fmt.Sprintf("%s (m=%d)", p.Host.Name, p.Host.Share)

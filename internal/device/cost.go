@@ -60,13 +60,13 @@ func (Roofline) Canonical() string { return "" }
 // over device).
 type Scale struct {
 	// Kernel is the kernel name the override applies to ("" = all).
-	Kernel string
+	Kernel string `json:"kernel,omitempty"`
 	// Device is the platform device ID (-1 = all).
-	Device int
+	Device int `json:"device"`
 	// Factor multiplies the base model's predicted duration; it must
 	// be positive. Factors come from calibration runs: measured /
 	// predicted on real hardware.
-	Factor float64
+	Factor float64 `json:"factor"`
 }
 
 // Calibrated wraps a base cost model with per-(kernel, device)
@@ -153,6 +153,39 @@ func (c *Calibrated) Canonical() string {
 	}
 	b.WriteByte(']')
 	return b.String()
+}
+
+// MergeScales combines an existing override set with freshly fitted
+// overrides, deterministically: a fitted scale replaces any existing
+// one with the same (Kernel, Device) pair, everything else survives.
+// Exact-pair replacement leaves no two entries with identical
+// specificity patterns competing for the same lookup, so factor
+// resolution stays unambiguous. The inputs are untouched; the result
+// is sorted by (Kernel, Device) so equal merges are byte-equal.
+func MergeScales(old, fitted []Scale) []Scale {
+	type pair struct {
+		kernel string
+		dev    int
+	}
+	replaced := make(map[pair]bool, len(fitted))
+	key := func(s Scale) pair { return pair{s.Kernel, s.Device} }
+	out := make([]Scale, 0, len(old)+len(fitted))
+	out = append(out, fitted...)
+	for _, s := range fitted {
+		replaced[key(s)] = true
+	}
+	for _, s := range old {
+		if !replaced[key(s)] {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kernel != out[j].Kernel {
+			return out[i].Kernel < out[j].Kernel
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out
 }
 
 // CostModelOf returns the platform's cost model, defaulting to

@@ -53,14 +53,41 @@ type Spec struct {
 	// since injection is as deterministic as the simulator, caching a
 	// faulted run's outcome under its own key stays sound.
 	Fault *fault.Schedule
+	// Calib, when non-empty, runs the spec with the platform's cost
+	// model recalibrated: the resolved platform is stripped to its base
+	// model and re-wrapped with these scales (calib.Report.Apply
+	// semantics — replace, never stack). The scales' canonical encoding
+	// participates in both cache keys, so calibrated runs never alias
+	// uncalibrated ones.
+	Calib []device.Scale
 }
 
-// platform resolves the spec's platform, defaulting to the paper's.
+// platform resolves the spec's platform, defaulting to the paper's and
+// applying the spec's calibration scales, if any.
 func (s Spec) platform() *device.Platform {
-	if s.Plat != nil {
-		return s.Plat
+	p := s.Plat
+	if p == nil {
+		p = device.PaperPlatform(0)
 	}
-	return device.PaperPlatform(0)
+	if len(s.Calib) > 0 {
+		base := p.Uncalibrated()
+		p = base.WithCost(&device.Calibrated{
+			Base:   base.Cost,
+			Scales: append([]device.Scale(nil), s.Calib...),
+		})
+	}
+	return p
+}
+
+// calibCanonical renders the spec's calibration scales for the cache
+// keys: empty when the spec carries none, so calibration-free specs
+// encode exactly as they did before the field existed.
+func (s Spec) calibCanonical() string {
+	if len(s.Calib) == 0 {
+		return ""
+	}
+	c := device.Calibrated{Scales: s.Calib}
+	return "|calib=" + c.Canonical()
 }
 
 // PlatformFingerprint renders the identity of a platform from its
@@ -80,10 +107,10 @@ func (s Spec) Canonical() string {
 	if strat == "" {
 		strat = "(matchmake)"
 	}
-	return fmt.Sprintf("app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|compute=%t|trace=%t|metrics=%t|seed=%d|fault=%s",
+	return fmt.Sprintf("app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|compute=%t|trace=%t|metrics=%t|seed=%d|fault=%s%s",
 		s.App, strat, int(s.Sync), s.N, s.Iters,
 		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Compute,
-		s.CollectTrace, s.WithMetrics, s.Seed, s.Fault.Canonical())
+		s.CollectTrace, s.WithMetrics, s.Seed, s.Fault.Canonical(), s.calibCanonical())
 }
 
 // Key is the content address of the spec: a SHA-256 over the canonical
@@ -102,9 +129,9 @@ func (s Spec) Key() string {
 // analyzer's pick), so "(matchmake)" and an explicit best-strategy
 // spec alias to the same plan.
 func (s Spec) PlanCanonical(resolved string) string {
-	return fmt.Sprintf("plan|app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|seed=%d|fault=%s",
+	return fmt.Sprintf("plan|app=%s|strategy=%s|sync=%d|n=%d|iters=%d|plat=%s|chunks=%d|noseed=%t|seed=%d|fault=%s%s",
 		s.App, resolved, int(s.Sync), s.N, s.Iters,
-		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Seed, s.Fault.Canonical())
+		PlatformFingerprint(s.platform()), s.Chunks, s.NoSeed, s.Seed, s.Fault.Canonical(), s.calibCanonical())
 }
 
 // PlanKey is the content address of the decision inputs; the plan

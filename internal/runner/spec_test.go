@@ -76,6 +76,59 @@ func TestPlatformFingerprintContents(t *testing.T) {
 	}
 }
 
+// TestCalibratedSpecNeverAliasesUncalibrated pins the cache-soundness
+// contract: a spec carrying calibration scales must never share a
+// result or plan cache key with the same spec without them — a
+// recalibrated cost model is a different simulated world.
+func TestCalibratedSpecNeverAliasesUncalibrated(t *testing.T) {
+	plain := Spec{App: "BlackScholes", Strategy: "SP-Single"}
+	calibrated := plain
+	calibrated.Calib = []device.Scale{{Device: 1, Factor: 1.6}}
+
+	if plain.Key() == calibrated.Key() {
+		t.Fatal("calibrated spec aliased the uncalibrated result cache key")
+	}
+	if plain.PlanKey("SP-Single") == calibrated.PlanKey("SP-Single") {
+		t.Fatal("calibrated spec aliased the uncalibrated plan cache key")
+	}
+	if !strings.Contains(calibrated.Canonical(), "|calib=calibrated[") {
+		t.Fatalf("calibrated canonical missing the calib segment: %q", calibrated.Canonical())
+	}
+	// Calibration-free specs must encode exactly as before the field
+	// existed — no empty |calib= suffix.
+	if strings.Contains(plain.Canonical(), "calib=") {
+		t.Fatalf("uncalibrated canonical grew a calib segment: %q", plain.Canonical())
+	}
+
+	// Different scales are different worlds too.
+	other := plain
+	other.Calib = []device.Scale{{Device: 1, Factor: 1.7}}
+	if other.Key() == calibrated.Key() {
+		t.Fatal("different calibration scales aliased")
+	}
+	// ...but scale order is not: the canonical encoding sorts.
+	perm := plain
+	perm.Calib = []device.Scale{{Device: 0, Factor: 1.25}, {Device: 1, Factor: 1.6}}
+	swap := plain
+	swap.Calib = []device.Scale{{Device: 1, Factor: 1.6}, {Device: 0, Factor: 1.25}}
+	if perm.Key() != swap.Key() {
+		t.Fatal("scale order changed the cache key")
+	}
+
+	// The resolved platform actually carries the calibration (and the
+	// spec's fingerprint shows it), replacing any pre-existing one.
+	pre := Spec{App: "BlackScholes", Strategy: "SP-Single",
+		Plat: device.PaperPlatform(0).WithCost(&device.Calibrated{Scales: []device.Scale{{Device: 0, Factor: 2}}}),
+		Calib: []device.Scale{{Device: 1, Factor: 1.6}}}
+	cal, ok := pre.platform().Cost.(*device.Calibrated)
+	if !ok {
+		t.Fatalf("resolved platform cost = %T", pre.platform().Cost)
+	}
+	if len(cal.Scales) != 1 || cal.Scales[0].Device != 1 {
+		t.Fatalf("spec calibration did not replace the platform's: %+v", cal.Scales)
+	}
+}
+
 func TestSpecCanonicalMatchmakeSentinel(t *testing.T) {
 	s := Spec{App: "HotSpot"}
 	if !strings.Contains(s.Canonical(), "strategy=(matchmake)") {

@@ -24,8 +24,8 @@ func TestServiceFaultGate(t *testing.T) {
 	_, closed := newTestService(t, Config{Workers: 1})
 	if status, _, eb := postJSON(t, closed.URL+"/v1/matchmake", crashBody); status != http.StatusBadRequest {
 		t.Errorf("fault without -allow-faults: status %d (%+v), want 400", status, eb)
-	} else if !strings.Contains(eb.Error, "disabled") {
-		t.Errorf("gate error %q does not say injection is disabled", eb.Error)
+	} else if !strings.Contains(eb.Message, "disabled") {
+		t.Errorf("gate error %q does not say injection is disabled", eb.Message)
 	}
 
 	_, open := newTestService(t, Config{Workers: 1, AllowFaults: true})
@@ -61,7 +61,7 @@ func TestServiceChaosCoalescedFailure(t *testing.T) {
 			status, _, eb := postJSONQuiet(ts.URL+"/v1/matchmake", crashBody)
 			statuses[c] = status
 			if eb != nil {
-				bodies[c] = fmt.Sprintf("%d:%s", eb.Status, eb.Error)
+				bodies[c] = fmt.Sprintf("%d:%s:%s", status, eb.Code, eb.Message)
 			}
 		}(c)
 	}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"heteropart"
+)
+
+// rawRequest performs one HTTP request and returns the status plus the
+// undecoded body bytes, for shape-level envelope checks.
+func rawRequest(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	switch method {
+	case http.MethodGet:
+		resp, err = http.Get(url)
+	default:
+		resp, err = http.Post(url, "application/json", strings.NewReader(body))
+	}
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, b
+}
+
+// checkEnvelope pins the v1 envelope contract on raw bytes: a JSON
+// object carrying exactly one of "result" (on 200) or "error" (on any
+// failure), where the error member is {"code", "message"} with both
+// non-empty. Every /v1 endpoint must satisfy it — this test is the
+// compatibility gate for the wire format.
+func checkEnvelope(t *testing.T, status int, body []byte) {
+	t.Helper()
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("body is not a JSON object: %v\n%s", err, body)
+	}
+	if status == http.StatusOK {
+		if _, ok := env["result"]; !ok {
+			t.Errorf("200 envelope missing result member: %s", body)
+		}
+		if _, ok := env["error"]; ok {
+			t.Errorf("200 envelope carries an error member: %s", body)
+		}
+		if len(env) != 1 {
+			t.Errorf("200 envelope has extra members: %s", body)
+		}
+		return
+	}
+	raw, ok := env["error"]
+	if !ok {
+		t.Fatalf("status %d envelope missing error member: %s", status, body)
+	}
+	if _, ok := env["result"]; ok {
+		t.Errorf("status %d envelope carries a result member: %s", status, body)
+	}
+	if len(env) != 1 {
+		t.Errorf("status %d envelope has extra members: %s", status, body)
+	}
+	var ev map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		t.Fatalf("error member is not an object: %v\n%s", err, body)
+	}
+	for _, key := range []string{"code", "message"} {
+		var s string
+		if err := json.Unmarshal(ev[key], &s); err != nil || s == "" {
+			t.Errorf("error member %q missing or empty: %s", key, body)
+		}
+	}
+	if len(ev) != 2 {
+		t.Errorf("error member has members beyond code+message: %s", body)
+	}
+}
+
+// TestEnvelopeCompatibility drives every /v1 endpoint through a success
+// and a failure and pins the envelope shape of each response. Clients
+// parse this shape; changing it is a breaking API change.
+func TestEnvelopeCompatibility(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+
+	// A decided plan for the execute success case.
+	_, planned, _ := postJSON(t, ts.URL+"/v1/plan", `{"app":"MatrixMul","n":128}`)
+	execBody, _ := json.Marshal(map[string]any{"plan": json.RawMessage(planned.Plan)})
+
+	// A valid calibration report for the calibrate success case.
+	report := &heteropart.CalibrationReport{
+		Version:  1,
+		App:      "MatrixMul",
+		Platform: heteropart.PlatformFingerprint(heteropart.PaperPlatform(0)),
+		Scales:   []heteropart.CostScale{{Device: 1, Factor: 1.5}},
+	}
+	rb, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calBody, _ := json.Marshal(map[string]any{"calibration": json.RawMessage(rb)})
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"matchmake ok", "POST", "/v1/matchmake", `{"app":"MatrixMul","n":128}`, 200},
+		{"matchmake error", "POST", "/v1/matchmake", `{"app":"NoSuchApp"}`, 404},
+		{"matchmake structure ok", "POST", "/v1/matchmake", `{"structure":"loop[10]{copy} !sync"}`, 200},
+		{"plan ok", "POST", "/v1/plan", `{"app":"MatrixMul","n":128}`, 200},
+		{"plan error", "POST", "/v1/plan", `{}`, 400},
+		{"execute ok", "POST", "/v1/execute", string(execBody), 200},
+		{"execute error", "POST", "/v1/execute", `{"app":"BlackScholes"}`, 400},
+		{"calibrate ok", "POST", "/v1/calibrate", string(calBody), 200},
+		{"calibrate error", "POST", "/v1/calibrate", `{}`, 400},
+		{"apps", "GET", "/v1/apps", "", 200},
+		{"strategies", "GET", "/v1/strategies", "", 200},
+		{"platforms", "GET", "/v1/platforms", "", 200},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, body := rawRequest(t, c.method, ts.URL+c.path, c.body)
+			if status != c.want {
+				t.Fatalf("status = %d, want %d\n%s", status, c.want, body)
+			}
+			checkEnvelope(t, status, body)
+		})
+	}
+}
+
+// TestCalibrateEndpoint exercises the calibration state machine at the
+// HTTP boundary: install a report, observe that calibrated flights
+// never coalesce with uncalibrated ones, and that drift (a thread
+// override that changes the base fingerprint, or a foreign platform)
+// is refused with 409 calibration_stale.
+func TestCalibrateEndpoint(t *testing.T) {
+	reg := heteropart.NewMetrics()
+	_, ts := newTestService(t, Config{Workers: 2, Metrics: reg})
+
+	const spec = `{"app":"BlackScholes","n":16384,"strategy":"SP-Single"}`
+	status, before, eb := postJSON(t, ts.URL+"/v1/matchmake", spec)
+	if status != http.StatusOK {
+		t.Fatalf("uncalibrated matchmake: status %d (%+v)", status, eb)
+	}
+
+	report := &heteropart.CalibrationReport{
+		Version:  1,
+		App:      "BlackScholes",
+		Platform: heteropart.PlatformFingerprint(heteropart.PaperPlatform(0)),
+		Scales:   []heteropart.CostScale{{Device: 1, Factor: 1.5}},
+	}
+	rb, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{"calibration": json.RawMessage(rb)})
+	status, resp, eb := postJSON(t, ts.URL+"/v1/calibrate", string(body))
+	if status != http.StatusOK {
+		t.Fatalf("calibrate: status %d (%+v)", status, eb)
+	}
+	if resp.Calibration == nil || resp.Calibration.Scales != 1 ||
+		resp.Calibration.Fingerprint != report.Platform || resp.Calibration.App != "BlackScholes" {
+		t.Fatalf("calibration view = %+v", resp.Calibration)
+	}
+
+	// The same request now runs under the installed scales: it must
+	// start a fresh flight (different runner cache key), not recall the
+	// memoized uncalibrated one, and the slowed GPU must show up in the
+	// measured makespan.
+	status, after, eb := postJSON(t, ts.URL+"/v1/matchmake", spec)
+	if status != http.StatusOK {
+		t.Fatalf("calibrated matchmake: status %d (%+v)", status, eb)
+	}
+	if hits := counter(reg, "service_coalesce_hits_total"); hits != 0 {
+		t.Errorf("service_coalesce_hits_total = %v, want 0: calibrated flights must not coalesce with uncalibrated ones", hits)
+	}
+	if runs := counter(reg, "runner_runs_total"); runs != 2 {
+		t.Errorf("runner_runs_total = %v, want 2 (one uncalibrated + one calibrated execution)", runs)
+	}
+	if before.Outcome == nil || after.Outcome == nil {
+		t.Fatal("missing outcomes")
+	}
+	if after.Outcome.MakespanNs <= before.Outcome.MakespanNs {
+		t.Errorf("calibrated makespan %d ≤ uncalibrated %d — a 1.5× slower GPU must cost time",
+			after.Outcome.MakespanNs, before.Outcome.MakespanNs)
+	}
+
+	// Drift: a threads override resolves to a different base
+	// fingerprint than the report binds to.
+	status, _, eb = postJSON(t, ts.URL+"/v1/matchmake", `{"app":"BlackScholes","n":16384,"threads":4}`)
+	if status != http.StatusConflict || eb == nil || eb.Code != CodeCalibrationStale {
+		t.Errorf("drifted request: status %d, error %+v, want 409 %s", status, eb, CodeCalibrationStale)
+	}
+
+	// A report fitted for the paper platform must not install on a
+	// catalog platform with a different base fingerprint.
+	foreign, _ := json.Marshal(map[string]any{"platform": "dual-gpu-bus", "calibration": json.RawMessage(rb)})
+	status, _, eb = postJSON(t, ts.URL+"/v1/calibrate", string(foreign))
+	if status != http.StatusConflict || eb == nil || eb.Code != CodeCalibrationStale {
+		t.Errorf("foreign install: status %d, error %+v, want 409 %s", status, eb, CodeCalibrationStale)
+	}
+}

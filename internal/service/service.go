@@ -117,6 +117,11 @@ type Service struct {
 	// order remembers flight keys in creation order for FIFO eviction
 	// of memoized flights (stale keys are skipped).
 	order []string
+	// calib is the per-platform calibration state, keyed by the
+	// request's platform name ("" = the default paper platform). POST
+	// /v1/calibrate installs a report; subsequent requests for that
+	// platform run with its scales applied. Guarded by mu.
+	calib map[string]*heteropart.CalibrationReport
 
 	queued    atomic.Int64
 	inflightN atomic.Int64
@@ -155,6 +160,7 @@ func New(cfg Config) *Service {
 		cancelBase: cancel,
 		sem:        make(chan struct{}, cfg.Workers),
 		flights:    make(map[string]*flight),
+		calib:      make(map[string]*heteropart.CalibrationReport),
 	}
 	s.runner = heteropart.NewRunner(heteropart.RunnerConfig{
 		Workers: cfg.Workers, Metrics: cfg.Metrics, Spans: cfg.Spans,
@@ -168,9 +174,9 @@ func New(cfg Config) *Service {
 	s.inflight = m.Gauge("service_inflight", "flights currently executing")
 	s.queueDepth = m.Gauge("service_queue_depth", "flights admitted but not yet executing")
 	s.flightCount = m.Gauge("service_flights", "live + memoized flights")
-	s.appsJSON = appsListing()
-	s.strategiesJSON = strategiesListing()
-	s.platformsJSON = platformsListing()
+	s.appsJSON = envelopeBytes(appsListing())
+	s.strategiesJSON = envelopeBytes(strategiesListing())
+	s.platformsJSON = envelopeBytes(platformsListing())
 	return s
 }
 
@@ -194,6 +200,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/matchmake", s.wrap("matchmake", s.handleMatchmake))
 	mux.HandleFunc("POST /v1/plan", s.wrap("plan", s.handlePlan))
 	mux.HandleFunc("POST /v1/execute", s.wrap("execute", s.handleExecute))
+	mux.HandleFunc("POST /v1/calibrate", s.wrap("calibrate", s.handleCalibrate))
 	mux.HandleFunc("GET /v1/apps", s.wrap("apps", func(w http.ResponseWriter, r *http.Request) {
 		writeRaw(w, s.appsJSON)
 	}))
@@ -243,6 +250,11 @@ type Request struct {
 	// flights coalesce separately from clean ones — the schedule's
 	// canonical encoding is part of the flight key.
 	Fault json.RawMessage `json:"fault,omitempty"`
+	// Calibration, on /v1/calibrate, is the serialized
+	// CalibrationReport to install for the request's platform. A report
+	// fitted for a different platform (or a thread count that changes
+	// the fingerprint) is refused with 409 calibration_stale.
+	Calibration json.RawMessage `json:"calibration,omitempty"`
 }
 
 // ReportView is the analyzer's decision, rendered for the wire.
@@ -266,35 +278,84 @@ type OutcomeView struct {
 	Decisions  int     `json:"decisions"`
 }
 
-// Response is the JSON body of a successful POST request. Coalesced
-// waiters share one Response value, so it is immutable once built.
+// Response is the result payload of a successful POST request (the
+// "result" member of the v1 envelope). Coalesced waiters share one
+// Response value, so it is immutable once built.
 type Response struct {
-	Report  *ReportView     `json:"report,omitempty"`
-	Plan    json.RawMessage `json:"plan,omitempty"`
-	Outcome *OutcomeView    `json:"outcome,omitempty"`
+	Report      *ReportView      `json:"report,omitempty"`
+	Plan        json.RawMessage  `json:"plan,omitempty"`
+	Outcome     *OutcomeView     `json:"outcome,omitempty"`
+	Calibration *CalibrationView `json:"calibration,omitempty"`
 }
 
-type errorBody struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+// CalibrationView summarizes an installed calibration (the result of
+// POST /v1/calibrate).
+type CalibrationView struct {
+	// Platform is the request's platform name ("" = the paper default).
+	Platform string `json:"platform"`
+	// Fingerprint is the base platform fingerprint the report binds to.
+	Fingerprint string `json:"fingerprint"`
+	// App is the application the report was fitted from.
+	App string `json:"app"`
+	// Scales is the number of fitted correction factors.
+	Scales int `json:"scales"`
+	// Rounds is the number of evidence rounds behind the fit.
+	Rounds int `json:"rounds"`
 }
 
-// httpErr carries a status decided at validation time.
+// Envelope is the uniform v1 response shape: every endpoint answers
+// {"result": ...} on success and {"error": {"code", "message"}} on
+// failure — exactly one of the two members is present.
+type Envelope struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *ErrorView      `json:"error,omitempty"`
+}
+
+// ErrorView is the error member of the v1 envelope: a machine-readable
+// code (stable across releases, mapped from the facade's typed
+// sentinels) plus a human-readable message.
+type ErrorView struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Machine-readable error codes of the v1 envelope.
+const (
+	CodeUnknownApp       = "unknown_app"
+	CodeUnknownStrategy  = "unknown_strategy"
+	CodePlanInvalid      = "plan_invalid"
+	CodePlatformInvalid  = "platform_invalid"
+	CodeFaultInvalid     = "fault_invalid"
+	CodeOptionsInvalid   = "options_invalid"
+	CodePlatformMismatch = "platform_mismatch"
+	CodeCalibrationStale = "calibration_stale"
+	CodeCanceled         = "canceled"
+	CodeBadRequest       = "bad_request"
+	CodeAtCapacity       = "at_capacity"
+	CodeShuttingDown     = "shutting_down"
+	CodeFaultInjected    = "fault_injected"
+	CodeInternal         = "internal"
+)
+
+// httpErr carries a status and envelope code decided at validation
+// time.
 type httpErr struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpErr) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *httpErr {
-	return &httpErr{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpErr{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
 // statusFor maps the facade's sentinel errors to HTTP statuses:
-// unknown app/strategy → 404, invalid plan, fault schedule or platform
-// → 400, platform mismatch → 409, abandoned by context → 499, anything
-// else (including a run halted by an injected fault) → 500.
+// unknown app/strategy → 404, invalid plan, fault schedule, options or
+// platform → 400, platform mismatch or stale calibration → 409,
+// abandoned by context → 499, anything else (including a run halted by
+// an injected fault) → 500.
 func statusFor(err error) int {
 	var he *httpErr
 	switch {
@@ -305,9 +366,11 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, heteropart.ErrPlanInvalid),
 		errors.Is(err, heteropart.ErrFaultInvalid),
+		errors.Is(err, heteropart.ErrOptionsInvalid),
 		errors.Is(err, heteropart.ErrPlatformInvalid):
 		return http.StatusBadRequest
-	case errors.Is(err, heteropart.ErrPlatformMismatch):
+	case errors.Is(err, heteropart.ErrPlatformMismatch),
+		errors.Is(err, heteropart.ErrCalibrationStale):
 		return http.StatusConflict
 	case errors.Is(err, heteropart.ErrCanceled),
 		errors.Is(err, context.Canceled),
@@ -315,6 +378,41 @@ func statusFor(err error) int {
 		return StatusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// codeFor maps an error to its stable envelope code. Order matters
+// where sentinels nest (ErrDeviceLost also matches ErrFaultInjected;
+// specific classification first).
+func codeFor(err error) string {
+	var he *httpErr
+	switch {
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, heteropart.ErrUnknownApp):
+		return CodeUnknownApp
+	case errors.Is(err, heteropart.ErrUnknownStrategy):
+		return CodeUnknownStrategy
+	case errors.Is(err, heteropart.ErrPlanInvalid):
+		return CodePlanInvalid
+	case errors.Is(err, heteropart.ErrFaultInvalid):
+		return CodeFaultInvalid
+	case errors.Is(err, heteropart.ErrOptionsInvalid):
+		return CodeOptionsInvalid
+	case errors.Is(err, heteropart.ErrPlatformInvalid):
+		return CodePlatformInvalid
+	case errors.Is(err, heteropart.ErrCalibrationStale):
+		return CodeCalibrationStale
+	case errors.Is(err, heteropart.ErrPlatformMismatch):
+		return CodePlatformMismatch
+	case errors.Is(err, heteropart.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	case errors.Is(err, heteropart.ErrFaultInjected):
+		return CodeFaultInjected
+	default:
+		return CodeInternal
 	}
 }
 
@@ -371,6 +469,10 @@ func (s *Service) specOf(req *Request) (heteropart.RunSpec, error) {
 	if err != nil {
 		return heteropart.RunSpec{}, err
 	}
+	scales, err := s.calibScalesFor(req.Platform, plat)
+	if err != nil {
+		return heteropart.RunSpec{}, err
+	}
 	return heteropart.RunSpec{
 		App:      req.App,
 		Strategy: req.Strategy,
@@ -381,7 +483,44 @@ func (s *Service) specOf(req *Request) (heteropart.RunSpec, error) {
 		Chunks:   req.Chunks,
 		NoSeed:   req.NoSeed,
 		Fault:    sched,
+		Calib:    scales,
 	}, nil
+}
+
+// calibScalesFor returns the installed calibration scales for a
+// platform name, verifying the stored report still fits the resolved
+// platform. A report installed for one fingerprint and a request that
+// resolves to another (e.g. a different threads override) is drift:
+// the request is refused with 409 calibration_stale rather than
+// silently served with wrong correction factors.
+func (s *Service) calibScalesFor(name string, plat *heteropart.Platform) ([]heteropart.CostScale, error) {
+	s.mu.Lock()
+	report := s.calib[name]
+	s.mu.Unlock()
+	if report == nil {
+		return nil, nil
+	}
+	if _, err := report.Apply(plat); err != nil {
+		return nil, err
+	}
+	return report.Scales, nil
+}
+
+// calibratedPlatform resolves a request's platform with any installed
+// calibration applied — the execute path needs the calibrated platform
+// itself (plans decided under calibration carry its fingerprint).
+func (s *Service) calibratedPlatform(req *Request) (*heteropart.Platform, error) {
+	plat, err := platformOf(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	report := s.calib[req.Platform]
+	s.mu.Unlock()
+	if report == nil {
+		return plat, nil
+	}
+	return report.Apply(plat)
 }
 
 // platformOf resolves a request's platform: empty means the paper
@@ -507,7 +646,7 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	plat, err := platformOf(req)
+	plat, err := s.calibratedPlatform(req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -571,6 +710,56 @@ func (s *Service) analyzeStructure(w http.ResponseWriter, req *Request) {
 	}})
 }
 
+// handleCalibrate installs a CalibrationReport as the service's
+// calibration state for the request's platform: subsequent matchmake /
+// plan flights for that platform run with the report's correction
+// factors applied (and coalesce separately from uncalibrated ones —
+// the scales are part of the cache key), and execute accepts plans
+// decided under them. Validation is pure and fast, so the endpoint
+// bypasses admission and coalescing like the structure-only path.
+func (s *Service) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Calibration) == 0 {
+		writeError(w, badRequest("service: missing calibration (POST a CalibrationReport)"))
+		return
+	}
+	report, err := heteropart.CalibrationFromJSON(req.Calibration)
+	if err != nil {
+		writeError(w, badRequest("service: %v", err))
+		return
+	}
+	plat, err := platformOf(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Drift detection at install time: the report must bind to the
+	// platform exactly as this service resolves it.
+	if _, err := report.Apply(plat); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, &httpErr{status: http.StatusServiceUnavailable, code: CodeShuttingDown, msg: "service: shutting down"})
+		return
+	}
+	s.calib[req.Platform] = report
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &Response{Calibration: &CalibrationView{
+		Platform:    req.Platform,
+		Fingerprint: report.Platform,
+		App:         report.App,
+		Scales:      len(report.Scales),
+		Rounds:      len(report.Rounds),
+	}})
+}
+
 // ---- flight machinery -------------------------------------------------
 
 // serve runs one coalescible request end to end: derive the deadline
@@ -588,10 +777,10 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, req *Request,
 	switch status {
 	case http.StatusTooManyRequests:
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		writeError(w, &httpErr{status: status, msg: "service: at capacity, retry later"})
+		writeError(w, &httpErr{status: status, code: CodeAtCapacity, msg: "service: at capacity, retry later"})
 		return
 	case http.StatusServiceUnavailable:
-		writeError(w, &httpErr{status: status, msg: "service: shutting down"})
+		writeError(w, &httpErr{status: status, code: CodeShuttingDown, msg: "service: shutting down"})
 		return
 	}
 	w.Header().Set("X-Heteropart-Coalesced", strconv.FormatBool(joined))
@@ -771,15 +960,21 @@ func responseOf(rep *heteropart.Report, pl *heteropart.ExecutionPlan, out *heter
 	return resp
 }
 
+// writeJSON wraps a result payload in the v1 envelope and sends it.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		writeError(w, fmt.Errorf("service: encode response: %v", err))
 		return
 	}
+	env, err := json.Marshal(Envelope{Result: b})
+	if err != nil {
+		writeError(w, fmt.Errorf("service: encode envelope: %v", err))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(b, '\n'))
+	w.Write(append(env, '\n'))
 }
 
 func writeRaw(w http.ResponseWriter, b []byte) {
@@ -787,12 +982,18 @@ func writeRaw(w http.ResponseWriter, b []byte) {
 	w.Write(b)
 }
 
+// envelopeBytes pre-renders {"result": <result>}\n for static
+// listings computed once at startup.
+func envelopeBytes(result []byte) []byte {
+	env, _ := json.Marshal(Envelope{Result: result})
+	return append(env, '\n')
+}
+
 func writeError(w http.ResponseWriter, err error) {
-	status := statusFor(err)
-	b, _ := json.Marshal(errorBody{Error: err.Error(), Status: status})
+	env, _ := json.Marshal(Envelope{Error: &ErrorView{Code: codeFor(err), Message: err.Error()}})
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(append(b, '\n'))
+	w.WriteHeader(statusFor(err))
+	w.Write(append(env, '\n'))
 }
 
 // ---- instrumentation --------------------------------------------------
@@ -882,7 +1083,7 @@ func appsListing() []byte {
 		views = append(views, v)
 	}
 	b, _ := json.Marshal(views)
-	return append(b, '\n')
+	return b
 }
 
 // PlatformView is one entry of GET /v1/platforms: a bundled catalog
@@ -917,7 +1118,7 @@ func platformsListing() []byte {
 		views = append(views, v)
 	}
 	b, _ := json.Marshal(views)
-	return append(b, '\n')
+	return b
 }
 
 func strategiesListing() []byte {
@@ -936,5 +1137,5 @@ func strategiesListing() []byte {
 		views = append(views, v)
 	}
 	b, _ := json.Marshal(views)
-	return append(b, '\n')
+	return b
 }

@@ -30,25 +30,33 @@ func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	return svc, ts
 }
 
-func postJSON(t *testing.T, url, body string) (int, *Response, *errorBody) {
+// postJSON posts a body and decodes the v1 envelope: on 200 the result
+// member is a *Response, otherwise the error member is returned.
+func postJSON(t *testing.T, url, body string) (int, *Response, *ErrorView) {
 	t.Helper()
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatalf("POST %s: %v", url, err)
 	}
 	defer resp.Body.Close()
+	env := &Envelope{}
+	if err := json.NewDecoder(resp.Body).Decode(env); err != nil {
+		t.Fatalf("decode envelope (status %d): %v", resp.StatusCode, err)
+	}
 	if resp.StatusCode == http.StatusOK {
+		if env.Error != nil || len(env.Result) == 0 {
+			t.Fatalf("200 envelope must carry exactly the result member: %+v", env)
+		}
 		out := &Response{}
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("decode response: %v", err)
+		if err := json.Unmarshal(env.Result, out); err != nil {
+			t.Fatalf("decode result: %v", err)
 		}
 		return resp.StatusCode, out, nil
 	}
-	eb := &errorBody{}
-	if err := json.NewDecoder(resp.Body).Decode(eb); err != nil {
-		t.Fatalf("decode error body (status %d): %v", resp.StatusCode, err)
+	if env.Error == nil || len(env.Result) != 0 {
+		t.Fatalf("status %d envelope must carry exactly the error member: %+v", resp.StatusCode, env)
 	}
-	return resp.StatusCode, nil, eb
+	return resp.StatusCode, nil, env.Error
 }
 
 func counter(reg *heteropart.Metrics, name string) float64 {
@@ -108,22 +116,27 @@ func TestServiceLoad(t *testing.T) {
 
 // postJSONQuiet is postJSON without *testing.T (usable inside
 // goroutines that must not Fatalf).
-func postJSONQuiet(url, body string) (int, *Response, *errorBody) {
+func postJSONQuiet(url, body string) (int, *Response, *ErrorView) {
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
-		return 0, nil, &errorBody{Error: err.Error()}
+		return 0, nil, &ErrorView{Code: "transport", Message: err.Error()}
 	}
 	defer resp.Body.Close()
+	env := &Envelope{}
+	if err := json.NewDecoder(resp.Body).Decode(env); err != nil {
+		return resp.StatusCode, nil, &ErrorView{Code: "transport", Message: err.Error()}
+	}
 	if resp.StatusCode == http.StatusOK {
 		out := &Response{}
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, nil, &errorBody{Error: err.Error()}
+		if err := json.Unmarshal(env.Result, out); err != nil {
+			return resp.StatusCode, nil, &ErrorView{Code: "transport", Message: err.Error()}
 		}
 		return resp.StatusCode, out, nil
 	}
-	eb := &errorBody{}
-	json.NewDecoder(resp.Body).Decode(eb)
-	return resp.StatusCode, nil, eb
+	if env.Error == nil {
+		return resp.StatusCode, nil, &ErrorView{Code: "transport", Message: "missing error member"}
+	}
+	return resp.StatusCode, nil, env.Error
 }
 
 // TestErrorMapping checks the sentinel → status table at the HTTP
@@ -135,17 +148,18 @@ func TestErrorMapping(t *testing.T) {
 	cases := []struct {
 		name, endpoint, body string
 		want                 int
+		code                 string
 	}{
-		{"unknown app", "/v1/matchmake", `{"app":"NoSuchApp"}`, http.StatusNotFound},
-		{"unknown strategy", "/v1/matchmake", `{"app":"BlackScholes","strategy":"SP-Bogus"}`, http.StatusNotFound},
-		{"missing app", "/v1/matchmake", `{}`, http.StatusBadRequest},
-		{"bad sync", "/v1/matchmake", `{"app":"BlackScholes","sync":"sometimes"}`, http.StatusBadRequest},
-		{"negative n", "/v1/plan", `{"app":"BlackScholes","n":-1}`, http.StatusBadRequest},
-		{"unknown field", "/v1/matchmake", `{"app":"BlackScholes","bogus":1}`, http.StatusBadRequest},
-		{"missing plan", "/v1/execute", `{"app":"BlackScholes"}`, http.StatusBadRequest},
-		{"invalid plan", "/v1/execute", `{"plan":{"version":1}}`, http.StatusBadRequest},
-		{"unknown platform", "/v1/matchmake", `{"app":"BlackScholes","platform":"quantum-rig"}`, http.StatusBadRequest},
-		{"unknown platform on plan", "/v1/plan", `{"app":"BlackScholes","platform":"quantum-rig"}`, http.StatusBadRequest},
+		{"unknown app", "/v1/matchmake", `{"app":"NoSuchApp"}`, http.StatusNotFound, CodeUnknownApp},
+		{"unknown strategy", "/v1/matchmake", `{"app":"BlackScholes","strategy":"SP-Bogus"}`, http.StatusNotFound, CodeUnknownStrategy},
+		{"missing app", "/v1/matchmake", `{}`, http.StatusBadRequest, CodeBadRequest},
+		{"bad sync", "/v1/matchmake", `{"app":"BlackScholes","sync":"sometimes"}`, http.StatusBadRequest, CodeBadRequest},
+		{"negative n", "/v1/plan", `{"app":"BlackScholes","n":-1}`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown field", "/v1/matchmake", `{"app":"BlackScholes","bogus":1}`, http.StatusBadRequest, CodeBadRequest},
+		{"missing plan", "/v1/execute", `{"app":"BlackScholes"}`, http.StatusBadRequest, CodeBadRequest},
+		{"invalid plan", "/v1/execute", `{"plan":{"version":1}}`, http.StatusBadRequest, CodePlanInvalid},
+		{"unknown platform", "/v1/matchmake", `{"app":"BlackScholes","platform":"quantum-rig"}`, http.StatusBadRequest, CodePlatformInvalid},
+		{"unknown platform on plan", "/v1/plan", `{"app":"BlackScholes","platform":"quantum-rig"}`, http.StatusBadRequest, CodePlatformInvalid},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -153,8 +167,8 @@ func TestErrorMapping(t *testing.T) {
 			if status != c.want {
 				t.Fatalf("status = %d, want %d (%+v)", status, c.want, eb)
 			}
-			if eb.Status != c.want || eb.Error == "" {
-				t.Errorf("error body = %+v, want status %d and a message", eb, c.want)
+			if eb.Code != c.code || eb.Message == "" {
+				t.Errorf("error = %+v, want code %q and a message", eb, c.code)
 			}
 		})
 	}
@@ -331,6 +345,8 @@ func TestMatchmakeOnCatalogPlatform(t *testing.T) {
 	}
 }
 
+// getJSON fetches a listing endpoint and decodes the envelope's result
+// member into v.
 func getJSON(t *testing.T, url string, v any) {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -341,8 +357,15 @@ func getJSON(t *testing.T, url string, v any) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		t.Fatalf("decode %s: %v", url, err)
+	env := &Envelope{}
+	if err := json.NewDecoder(resp.Body).Decode(env); err != nil {
+		t.Fatalf("decode %s envelope: %v", url, err)
+	}
+	if env.Error != nil || len(env.Result) == 0 {
+		t.Fatalf("GET %s: envelope must carry exactly the result member: %+v", url, env)
+	}
+	if err := json.Unmarshal(env.Result, v); err != nil {
+		t.Fatalf("decode %s result: %v", url, err)
 	}
 }
 
@@ -516,6 +539,8 @@ func TestStatusFor(t *testing.T) {
 		{fmt.Errorf("x: %w", heteropart.ErrUnknownStrategy), http.StatusNotFound},
 		{fmt.Errorf("x: %w", heteropart.ErrPlanInvalid), http.StatusBadRequest},
 		{fmt.Errorf("x: %w", heteropart.ErrPlatformMismatch), http.StatusConflict},
+		{fmt.Errorf("x: %w", heteropart.ErrCalibrationStale), http.StatusConflict},
+		{fmt.Errorf("x: %w", heteropart.ErrOptionsInvalid), http.StatusBadRequest},
 		{fmt.Errorf("x: %w", heteropart.ErrCanceled), StatusClientClosedRequest},
 		{context.DeadlineExceeded, StatusClientClosedRequest},
 		{errors.New("boom"), http.StatusInternalServerError},
@@ -523,6 +548,36 @@ func TestStatusFor(t *testing.T) {
 	for _, c := range cases {
 		if got := statusFor(c.err); got != c.want {
 			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestCodeFor pins the sentinel → envelope-code table directly.
+func TestCodeFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{fmt.Errorf("x: %w", heteropart.ErrUnknownApp), CodeUnknownApp},
+		{fmt.Errorf("x: %w", heteropart.ErrUnknownStrategy), CodeUnknownStrategy},
+		{fmt.Errorf("x: %w", heteropart.ErrPlanInvalid), CodePlanInvalid},
+		{fmt.Errorf("x: %w", heteropart.ErrFaultInvalid), CodeFaultInvalid},
+		{fmt.Errorf("x: %w", heteropart.ErrOptionsInvalid), CodeOptionsInvalid},
+		{fmt.Errorf("x: %w", heteropart.ErrPlatformInvalid), CodePlatformInvalid},
+		{fmt.Errorf("x: %w", heteropart.ErrPlatformMismatch), CodePlatformMismatch},
+		{fmt.Errorf("x: %w", heteropart.ErrCalibrationStale), CodeCalibrationStale},
+		{fmt.Errorf("x: %w", heteropart.ErrFaultInjected), CodeFaultInjected},
+		// Device-loss failures match both sentinels (fault.LossError);
+		// the envelope classifies them as fault_injected.
+		{fmt.Errorf("x: %w%w", heteropart.ErrDeviceLost, heteropart.ErrFaultInjected), CodeFaultInjected},
+		{fmt.Errorf("x: %w", heteropart.ErrCanceled), CodeCanceled},
+		{context.DeadlineExceeded, CodeCanceled},
+		{badRequest("nope"), CodeBadRequest},
+		{errors.New("boom"), CodeInternal},
+	}
+	for _, c := range cases {
+		if got := codeFor(c.err); got != c.want {
+			t.Errorf("codeFor(%v) = %q, want %q", c.err, got, c.want)
 		}
 	}
 }

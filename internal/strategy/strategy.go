@@ -82,6 +82,46 @@ type Options struct {
 	ctx context.Context
 }
 
+// Validate rejects incoherent option combinations before any work
+// runs, wrapping apierr.ErrOptionsInvalid so callers (and the HTTP
+// service) classify the failure without string matching. Every facade
+// entry point that accepts an Options calls it, replacing scattered
+// ad-hoc checks: a zero Options is always valid.
+func (o Options) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("strategy: %w: "+format,
+			append([]any{apierr.ErrOptionsInvalid}, args...)...)
+	}
+	if o.Chunks < 0 {
+		return bad("chunks %d must be non-negative", o.Chunks)
+	}
+	if o.Chunks > 1<<16 {
+		return bad("chunks %d exceeds the %d task-instance cap", o.Chunks, 1<<16)
+	}
+	g := o.Glinda
+	if g.SampleFrac < 0 || g.SampleFrac > 1 {
+		return bad("glinda sample fraction %g must be in [0, 1]", g.SampleFrac)
+	}
+	if g.MinSample < 0 {
+		return bad("glinda probe floor %d must be non-negative", g.MinSample)
+	}
+	if g.LowCut < 0 || g.LowCut > 1 || g.HighCut < 0 || g.HighCut > 1 {
+		return bad("glinda cutoffs (%g, %g) must be in [0, 1]", g.LowCut, g.HighCut)
+	}
+	if g.LowCut > 0 && g.HighCut > 0 && g.LowCut >= g.HighCut {
+		return bad("glinda cutoffs are inverted: low %g >= high %g", g.LowCut, g.HighCut)
+	}
+	if o.SpanParent != 0 && o.Spans == nil {
+		return bad("span parent %d set without a tracer", o.SpanParent)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return fmt.Errorf("strategy: %w: fault schedule: %v", apierr.ErrOptionsInvalid, err)
+		}
+	}
+	return nil
+}
+
 func (o Options) chunks(plat *device.Platform) int {
 	if o.Chunks > 0 {
 		return o.Chunks
@@ -206,6 +246,9 @@ func ExecuteContext(ctx context.Context, pl *plan.ExecutionPlan, p *apps.Problem
 	if err := apierr.FromContext(ctx); err != nil {
 		return nil, fmt.Errorf("strategy %s on %s: %w", pl.Strategy, pl.App, err)
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts.ctx = ctx
 	execSpan := opts.Spans.Begin(opts.SpanParent, telemetry.KindExecute, pl.Strategy)
 	defer opts.Spans.End(execSpan)
@@ -287,6 +330,9 @@ func runPlanned(s Strategy, p *apps.Problem, plat *device.Platform, opts Options
 func RunContext(ctx context.Context, s Strategy, p *apps.Problem, plat *device.Platform, opts Options) (*Outcome, error) {
 	if err := apierr.FromContext(ctx); err != nil {
 		return nil, fmt.Errorf("strategy %s on %s: %w", s.Name(), p.AppName, err)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	planSpan := opts.Spans.Begin(opts.SpanParent, telemetry.KindPlan, "plan "+s.Name())
 	planOpts := opts
